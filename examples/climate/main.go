@@ -1,0 +1,116 @@
+// Climate-analysis workflow: the paper's motivating scenario (§1). A
+// researcher scans many wind-speed snapshots at coarse fidelity to find
+// regions of interest, then refines only the interesting snapshot to high
+// fidelity. Progressive retrieval makes the scan phase cheap: each snapshot
+// costs a fraction of its archive until one deserves a full look.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/datagen"
+	"repro/internal/grid"
+	"repro/ipcomp"
+)
+
+func main() {
+	// Simulate an archive of wind-speed snapshots (SpeedX-like fields with
+	// different seeds via shifted shapes — here, three independent fields).
+	fmt.Println("== scan phase: coarse retrieval of every snapshot ==")
+	type snapshot struct {
+		name string
+		data []float64
+		blob []byte
+	}
+	var snaps []snapshot
+	for i, name := range []string{"SpeedX", "Density", "Pressure"} {
+		ds, err := datagen.Generate(name, 6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		blob, err := ipcomp.Compress(ds.Grid.Data(), ds.Grid.Shape(), ipcomp.Options{
+			ErrorBound: 1e-8,
+			Relative:   true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		snaps = append(snaps, snapshot{
+			name: fmt.Sprintf("t%02d (%s)", i, name),
+			data: ds.Grid.Data(),
+			blob: blob,
+		})
+	}
+
+	// Scan: find the snapshot with the strongest extreme values using only
+	// ~coarse data. A 1e-3-relative view is plenty to rank maxima.
+	bestIdx, bestMax := -1, math.Inf(-1)
+	var scanned, totalSize int64
+	for i, s := range snaps {
+		arch, err := ipcomp.Open(s.blob)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := arch.RetrieveErrorBound(arch.ErrorBound() * 65536)
+		if err != nil {
+			log.Fatal(err)
+		}
+		peak := math.Inf(-1)
+		for _, v := range res.Data() {
+			if v > peak {
+				peak = v
+			}
+		}
+		scanned += res.LoadedBytes()
+		totalSize += int64(len(s.blob))
+		fmt.Printf("  %s: peak %8.3f   loaded %5.1f%% of archive\n",
+			s.name, peak, 100*float64(res.LoadedBytes())/float64(len(s.blob)))
+		if peak > bestMax {
+			bestMax, bestIdx = peak, i
+		}
+	}
+	fmt.Printf("scan cost: %d of %d archive bytes (%.1f%%)\n\n",
+		scanned, totalSize, 100*float64(scanned)/float64(totalSize))
+
+	// Deep dive: refine ONLY the winning snapshot, progressively, and watch
+	// a derived statistic converge.
+	winner := snaps[bestIdx]
+	fmt.Printf("== analysis phase: refining %s ==\n", winner.name)
+	arch, err := ipcomp.Open(winner.blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := arch.RetrieveErrorBound(arch.ErrorBound() * 65536)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shape := grid.Shape(arch.Shape())
+	for _, factor := range []float64{4096, 256, 16, 1} {
+		if err := res.RefineErrorBound(arch.ErrorBound() * factor); err != nil {
+			log.Fatal(err)
+		}
+		g, err := grid.FromSlice(res.Data(), shape)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  bound %8.3gx eb: mean |grad| %.9f   cumulative load %5.1f%%\n",
+			factor, meanGradient(g), 100*float64(res.LoadedBytes())/float64(len(winner.blob)))
+	}
+	fmt.Println("\nonly the snapshot that mattered was loaded at high fidelity.")
+}
+
+// meanGradient is the derived quantity the analyst watches: the mean
+// magnitude of the first-axis gradient.
+func meanGradient(g *grid.Grid) float64 {
+	data := g.Data()
+	stride := g.Strides()[0]
+	sum := 0.0
+	n := 0
+	for i := stride; i < len(data); i++ {
+		sum += math.Abs(data[i] - data[i-stride])
+		n++
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,67 @@
+// Quickstart: compress a synthetic turbulence field, retrieve a coarse
+// approximation, then refine it progressively — the 60-second tour of the
+// ipcomp public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+	"repro/ipcomp"
+)
+
+func main() {
+	// 1. Some scientific data: a 64x96x96 turbulence density field.
+	ds, err := datagen.Generate("Density", 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, shape := ds.Grid.Data(), []int(ds.Grid.Shape())
+	fmt.Printf("dataset: %s %v (%d values, %.1f MB raw)\n",
+		ds.Name, shape, len(data), float64(len(data)*8)/1e6)
+
+	// 2. Compress with a point-wise error bound of 1e-6 x value range.
+	blob, err := ipcomp.Compress(data, shape, ipcomp.Options{
+		ErrorBound: 1e-6,
+		Relative:   true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compressed: %d bytes (ratio %.1fx)\n",
+		len(blob), float64(len(data)*8)/float64(len(blob)))
+
+	// 3. Open the archive and retrieve a coarse approximation first:
+	// a 1000x looser bound loads only a fraction of the bytes.
+	arch, err := ipcomp.Open(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eb := arch.ErrorBound()
+	res, err := arch.RetrieveErrorBound(eb * 1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("coarse retrieval:  %6.2f%% of archive, max error %.3g\n",
+		100*float64(res.LoadedBytes())/float64(len(blob)),
+		metrics.MaxAbsError(data, res.Data()))
+
+	// 4. Refine IN PLACE: only the additional bitplanes are loaded and the
+	// existing reconstruction is updated in a single incremental pass.
+	if err := res.RefineErrorBound(eb * 16); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("refined retrieval: %6.2f%% of archive, max error %.3g\n",
+		100*float64(res.LoadedBytes())/float64(len(blob)),
+		metrics.MaxAbsError(data, res.Data()))
+
+	// 5. Go all the way to full fidelity.
+	if err := res.RefineAll(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full fidelity:     %6.2f%% of archive, max error %.3g (bound %.3g)\n",
+		100*float64(res.LoadedBytes())/float64(len(blob)),
+		metrics.MaxAbsError(data, res.Data()), eb)
+}

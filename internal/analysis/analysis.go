@@ -1,0 +1,150 @@
+// Package analysis implements the post-analysis operators of the paper's
+// Figure 11 — curl magnitude and Laplacian of a 3D field — plus a PGM
+// renderer so the visual-quality experiment produces inspectable images.
+// The experiment's point: the Laplacian (a second-derivative quantity) needs
+// more retrieved precision than the curl, demonstrating why progressive
+// retrieval matters.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+)
+
+// CurlMagnitude treats the scalar field's gradient rotated per-axis as a
+// proxy vector field (the paper derives curl from the velocity components;
+// with one scalar field available the standard proxy is the curl of
+// (0, 0, f), whose magnitude is |(∂f/∂y, -∂f/∂x, 0)|). Central differences
+// inside, one-sided at boundaries. The input must be 3D.
+func CurlMagnitude(g *grid.Grid) (*grid.Grid, error) {
+	if g.NDims() != 3 {
+		return nil, fmt.Errorf("analysis: curl needs a 3D field, got %dD", g.NDims())
+	}
+	out, err := grid.New(g.Shape())
+	if err != nil {
+		return nil, err
+	}
+	shape := g.Shape()
+	for i := 0; i < shape[0]; i++ {
+		for j := 0; j < shape[1]; j++ {
+			for k := 0; k < shape[2]; k++ {
+				dfdy := diff(g, 1, i, j, k)
+				dfdx := diff(g, 2, i, j, k)
+				out.Set(math.Hypot(dfdy, dfdx), i, j, k)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Laplacian computes the 7-point (3D) discrete Laplacian with reflecting
+// boundaries.
+func Laplacian(g *grid.Grid) (*grid.Grid, error) {
+	if g.NDims() != 3 {
+		return nil, fmt.Errorf("analysis: laplacian needs a 3D field, got %dD", g.NDims())
+	}
+	out, err := grid.New(g.Shape())
+	if err != nil {
+		return nil, err
+	}
+	shape := g.Shape()
+	for i := 0; i < shape[0]; i++ {
+		for j := 0; j < shape[1]; j++ {
+			for k := 0; k < shape[2]; k++ {
+				c := g.At(i, j, k)
+				sum := 0.0
+				sum += at(g, i-1, j, k, c) + at(g, i+1, j, k, c)
+				sum += at(g, i, j-1, k, c) + at(g, i, j+1, k, c)
+				sum += at(g, i, j, k-1, c) + at(g, i, j, k+1, c)
+				out.Set(sum-6*c, i, j, k)
+			}
+		}
+	}
+	return out, nil
+}
+
+// diff computes the central difference along dim at (i,j,k), one-sided at
+// the boundaries.
+func diff(g *grid.Grid, dim, i, j, k int) float64 {
+	idx := [3]int{i, j, k}
+	lo, hi := idx, idx
+	shape := g.Shape()
+	h := 2.0
+	if idx[dim] == 0 {
+		h = 1
+	} else {
+		lo[dim]--
+	}
+	if idx[dim] == shape[dim]-1 {
+		h--
+	} else {
+		hi[dim]++
+	}
+	if h == 0 {
+		return 0
+	}
+	return (g.At(hi[0], hi[1], hi[2]) - g.At(lo[0], lo[1], lo[2])) / h
+}
+
+// at fetches with reflecting boundary (out-of-range returns the centre
+// value, making the boundary Laplacian one-sided).
+func at(g *grid.Grid, i, j, k int, centre float64) float64 {
+	shape := g.Shape()
+	if i < 0 || j < 0 || k < 0 || i >= shape[0] || j >= shape[1] || k >= shape[2] {
+		return centre
+	}
+	return g.At(i, j, k)
+}
+
+// SliceToPGM renders the middle slice along the first axis as an 8-bit
+// binary PGM image, normalizing values to the slice's range — the
+// repository's stand-in for the paper's Figure 11 renderings.
+func SliceToPGM(g *grid.Grid) ([]byte, error) {
+	if g.NDims() != 3 {
+		return nil, fmt.Errorf("analysis: PGM rendering needs a 3D field")
+	}
+	shape := g.Shape()
+	mid := shape[0] / 2
+	h, w := shape[1], shape[2]
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for j := 0; j < h; j++ {
+		for k := 0; k < w; k++ {
+			v := g.At(mid, j, k)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	out := []byte(fmt.Sprintf("P5\n%d %d\n255\n", w, h))
+	for j := 0; j < h; j++ {
+		for k := 0; k < w; k++ {
+			out = append(out, byte(255*(g.At(mid, j, k)-lo)/span))
+		}
+	}
+	return out, nil
+}
+
+// RelativeL2 returns ‖a-b‖₂ / ‖a‖₂, the similarity metric the Figure 11
+// reproduction reports for derived quantities (a is the reference).
+func RelativeL2(a, b *grid.Grid) float64 {
+	ad, bd := a.Data(), b.Data()
+	var num, den float64
+	for i := range ad {
+		d := ad[i] - bd[i]
+		num += d * d
+		den += ad[i] * ad[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	return math.Sqrt(num / den)
+}

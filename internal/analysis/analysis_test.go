@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// linear3D builds f(i,j,k) = a·i + b·j + c·k.
+func linear3D(shape grid.Shape, a, b, c float64) *grid.Grid {
+	g := grid.MustNew(shape)
+	for i := 0; i < shape[0]; i++ {
+		for j := 0; j < shape[1]; j++ {
+			for k := 0; k < shape[2]; k++ {
+				g.Set(a*float64(i)+b*float64(j)+c*float64(k), i, j, k)
+			}
+		}
+	}
+	return g
+}
+
+func TestCurlOfLinearField(t *testing.T) {
+	// Gradient of a linear field is constant, so the curl-magnitude proxy
+	// |(∂f/∂y, -∂f/∂x)| is the constant hypot(b, c).
+	g := linear3D(grid.Shape{8, 9, 10}, 0, 3, 4)
+	curl, err := CurlMagnitude(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range curl.Data() {
+		if math.Abs(v-5) > 1e-9 {
+			t.Fatalf("curl = %v, want 5", v)
+		}
+	}
+}
+
+func TestLaplacianOfLinearFieldIsZero(t *testing.T) {
+	g := linear3D(grid.Shape{6, 7, 8}, 1, 2, 3)
+	lap, err := Laplacian(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The interior Laplacian of a linear field vanishes; the reflecting
+	// boundary makes edge values one-sided but still zero for linear data
+	// only in the interior.
+	shape := g.Shape()
+	for i := 1; i < shape[0]-1; i++ {
+		for j := 1; j < shape[1]-1; j++ {
+			for k := 1; k < shape[2]-1; k++ {
+				if v := lap.At(i, j, k); math.Abs(v) > 1e-9 {
+					t.Fatalf("laplacian(%d,%d,%d) = %v", i, j, k, v)
+				}
+			}
+		}
+	}
+}
+
+func TestLaplacianOfQuadratic(t *testing.T) {
+	// f = i^2 has discrete Laplacian 2 in the interior.
+	shape := grid.Shape{8, 6, 6}
+	g := grid.MustNew(shape)
+	for i := 0; i < shape[0]; i++ {
+		for j := 0; j < shape[1]; j++ {
+			for k := 0; k < shape[2]; k++ {
+				g.Set(float64(i*i), i, j, k)
+			}
+		}
+	}
+	lap, err := Laplacian(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := lap.At(3, 3, 3); math.Abs(v-2) > 1e-9 {
+		t.Errorf("laplacian of i^2 = %v, want 2", v)
+	}
+}
+
+func TestRejectNon3D(t *testing.T) {
+	g := grid.MustNew(grid.Shape{4, 4})
+	if _, err := CurlMagnitude(g); err == nil {
+		t.Error("2D curl must error")
+	}
+	if _, err := Laplacian(g); err == nil {
+		t.Error("2D laplacian must error")
+	}
+	if _, err := SliceToPGM(g); err == nil {
+		t.Error("2D PGM must error")
+	}
+}
+
+func TestSliceToPGM(t *testing.T) {
+	g := linear3D(grid.Shape{4, 5, 6}, 1, 1, 1)
+	img, err := SliceToPGM(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(img, []byte("P5\n6 5\n255\n")) {
+		t.Errorf("bad PGM header: %q", img[:12])
+	}
+	if len(img) != len("P5\n6 5\n255\n")+30 {
+		t.Errorf("PGM length %d", len(img))
+	}
+}
+
+func TestRelativeL2(t *testing.T) {
+	a := grid.MustNew(grid.Shape{2, 2, 2})
+	b := a.Clone()
+	for i := range a.Data() {
+		a.Data()[i] = 1
+		b.Data()[i] = 1
+	}
+	if got := RelativeL2(a, b); got != 0 {
+		t.Errorf("identical fields relL2 = %v", got)
+	}
+	for i := range b.Data() {
+		b.Data()[i] = 2
+	}
+	if got := RelativeL2(a, b); math.Abs(got-1) > 1e-12 {
+		t.Errorf("relL2 = %v, want 1", got)
+	}
+}

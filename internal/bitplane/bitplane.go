@@ -1,0 +1,213 @@
+// Package bitplane implements the bitplane decomposition at the heart of
+// IPComp's progressive coder (paper §4.3–4.4). A slice of 32-digit
+// negabinary integers is transposed into 32 bit vectors ("planes"): plane p
+// holds bit p of every integer. Planes are stored most-significant first so
+// that loading a prefix of planes yields a uniformly truncated (lower
+// precision) version of every value.
+//
+// The package also implements the paper's predictive bitplane coding
+// (§4.4.1): each bit is XOR-ed with the XOR of its two more-significant
+// neighbours in the same integer. The prediction is causal with respect to
+// plane loading order (MSB first), so a partially loaded archive can always
+// undo it.
+package bitplane
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Planes is the number of bitplanes per 32-bit integer.
+const Planes = 32
+
+// Split transposes values into 32 packed bitplanes. Element i of the result
+// is the plane for bit (31-i), i.e. planes are ordered MSB first. Each plane
+// is packed 8 bits per byte, first value in the most significant bit of
+// byte 0, so planes of n values occupy ceil(n/8) bytes.
+func Split(values []uint32) [][]byte {
+	n := len(values)
+	nbytes := (n + 7) / 8
+	planes := make([][]byte, Planes)
+	backing := make([]byte, Planes*nbytes)
+	for p := 0; p < Planes; p++ {
+		planes[p] = backing[p*nbytes : (p+1)*nbytes : (p+1)*nbytes]
+	}
+	for i, v := range values {
+		byteIdx := i >> 3
+		bit := byte(0x80) >> uint(i&7)
+		// Unrolled by plane would be faster but this keeps the hot loop
+		// simple; Split is not on the critical decompression path.
+		for p := 0; p < Planes; p++ {
+			if v&(1<<uint(31-p)) != 0 {
+				planes[p][byteIdx] |= bit
+			}
+		}
+	}
+	return planes
+}
+
+// Merge reassembles integers from a prefix of MSB-first planes. Absent
+// planes (nil entries or a short slice) contribute zero bits, which is
+// exactly the truncation semantics of progressive loading. n is the number
+// of values to produce.
+func Merge(planes [][]byte, n int) []uint32 {
+	out := make([]uint32, n)
+	MergeInto(out, planes)
+	return out
+}
+
+// MergeInto reassembles into an existing slice, zeroing it first.
+func MergeInto(out []uint32, planes [][]byte) {
+	for i := range out {
+		out[i] = 0
+	}
+	for p, plane := range planes {
+		if plane == nil || p >= Planes {
+			continue
+		}
+		shift := uint(31 - p)
+		for i := range out {
+			byteIdx := i >> 3
+			bit := byte(0x80) >> uint(i&7)
+			if plane[byteIdx]&bit != 0 {
+				out[i] |= 1 << shift
+			}
+		}
+	}
+}
+
+// NumUsedPlanes returns how many MSB-first planes are needed to represent
+// every value exactly, i.e. 32 minus the number of leading zero planes.
+// Planes below the returned count are identically zero for all values.
+func NumUsedPlanes(values []uint32) int {
+	var acc uint32
+	for _, v := range values {
+		acc |= v
+	}
+	used := 0
+	for acc != 0 {
+		used++
+		acc >>= 1
+	}
+	return used
+}
+
+// PredictEncode applies the paper's 2-bit-prefix XOR prediction to MSB-first
+// planes, in place. For plane index p (0 = MSB), each bit b is replaced by
+// b XOR prefix, where prefix is the XOR of the bits in planes p-1 and p-2 of
+// the same integer (one prefix bit for p==1, none for p==0). Because the
+// prefix only references more-significant planes, decoding can proceed in
+// loading order.
+//
+// The transformation must run on the ORIGINAL plane bits, so encoding walks
+// planes LSB-to-MSB (a plane's sources are modified after it is, never
+// before).
+func PredictEncode(planes [][]byte) {
+	for p := len(planes) - 1; p >= 1; p-- {
+		xorWithPrefix(planes, p)
+	}
+}
+
+// PredictDecode inverts PredictEncode for the loaded prefix of planes.
+// Decoding walks MSB-to-LSB so each plane's sources are already restored.
+func PredictDecode(planes [][]byte) {
+	PredictDecodeRange(planes, 0, len(planes))
+}
+
+// PredictDecodeRange decodes only planes [from, to), assuming planes above
+// `from` were decoded earlier. This is what incremental refinement uses when
+// it appends newly loaded planes below an already-decoded prefix.
+func PredictDecodeRange(planes [][]byte, from, to int) {
+	if from < 1 {
+		from = 1 // the MSB plane is stored unpredicted
+	}
+	for p := from; p < to && p < len(planes); p++ {
+		if planes[p] == nil {
+			continue
+		}
+		xorWithPrefix(planes, p)
+	}
+}
+
+// xorWithPrefix XORs plane p with planes p-1 and p-2 (those that exist and
+// are loaded). XOR is an involution, so the same helper serves both encode
+// and decode.
+func xorWithPrefix(planes [][]byte, p int) {
+	dst := planes[p]
+	if dst == nil {
+		return
+	}
+	if p >= 1 && planes[p-1] != nil {
+		a := planes[p-1]
+		for i := range dst {
+			dst[i] ^= a[i]
+		}
+	}
+	if p >= 2 && planes[p-2] != nil {
+		a := planes[p-2]
+		for i := range dst {
+			dst[i] ^= a[i]
+		}
+	}
+}
+
+// PrefixEntropy computes the mean per-plane bit entropy of the values'
+// used bitplanes after XOR prediction with `prefix` preceding bits
+// (prefix 0 = raw planes). This is the statistic of the paper's Table 2,
+// which motivates the choice of a 2-bit prefix.
+func PrefixEntropy(values []uint32, prefix int) float64 {
+	used := NumUsedPlanes(values)
+	if used == 0 || len(values) == 0 {
+		return 0
+	}
+	planes := Split(values)[32-used:]
+	if prefix > 0 {
+		// Generalized predictive coding: XOR each plane with the XOR of up
+		// to `prefix` more-significant planes. Walk LSB-to-MSB so sources
+		// are unmodified when used.
+		for p := len(planes) - 1; p >= 1; p-- {
+			for q := p - 1; q >= 0 && q >= p-prefix; q-- {
+				a := planes[q]
+				dst := planes[p]
+				for i := range dst {
+					dst[i] ^= a[i]
+				}
+			}
+		}
+	}
+	sum := 0.0
+	for _, plane := range planes {
+		sum += BitEntropy(plane, len(values))
+	}
+	return sum / float64(used)
+}
+
+// Ones counts set bits in a packed plane restricted to the first n values.
+func Ones(plane []byte, n int) int {
+	full := n >> 3
+	count := 0
+	for i := 0; i < full; i++ {
+		count += bits.OnesCount8(plane[i])
+	}
+	if rem := n & 7; rem > 0 && full < len(plane) {
+		mask := byte(0xFF) << uint(8-rem)
+		count += bits.OnesCount8(plane[full] & mask)
+	}
+	return count
+}
+
+// BitEntropy returns the Shannon entropy (bits per bit) of a packed plane of
+// n values — the statistic reported in the paper's Table 2.
+func BitEntropy(plane []byte, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return binaryEntropy(float64(Ones(plane, n)) / float64(n))
+}
+
+func binaryEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -(p*math.Log2(p) + (1-p)*math.Log2(1-p))
+}

@@ -1,0 +1,189 @@
+package bitplane
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randValues(r *rand.Rand, n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		// Mix of small (common for quantized residuals) and large values.
+		switch r.Intn(3) {
+		case 0:
+			out[i] = uint32(r.Intn(16))
+		case 1:
+			out[i] = uint32(r.Intn(1 << 12))
+		default:
+			out[i] = r.Uint32()
+		}
+	}
+	return out
+}
+
+func TestSplitMergeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 65, 1000} {
+		vals := randValues(r, n)
+		planes := Split(vals)
+		if len(planes) != Planes {
+			t.Fatalf("Split returned %d planes", len(planes))
+		}
+		got := Merge(planes, n)
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("n=%d: value %d: got %#x want %#x", n, i, got[i], vals[i])
+			}
+		}
+	}
+}
+
+func TestMergeWithMissingLowPlanesTruncates(t *testing.T) {
+	vals := []uint32{0xFFFFFFFF, 0x12345678, 0}
+	planes := Split(vals)
+	// Drop the 8 least significant planes.
+	for p := 24; p < 32; p++ {
+		planes[p] = nil
+	}
+	got := Merge(planes, len(vals))
+	for i, v := range vals {
+		if want := v &^ 0xFF; got[i] != want {
+			t.Errorf("value %d: got %#x want %#x", i, got[i], want)
+		}
+	}
+}
+
+func TestPredictEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 10, 100, 257} {
+		vals := randValues(r, n)
+		planes := Split(vals)
+		orig := make([][]byte, len(planes))
+		for i, p := range planes {
+			orig[i] = append([]byte(nil), p...)
+		}
+		PredictEncode(planes)
+		PredictDecode(planes)
+		for i := range planes {
+			for j := range planes[i] {
+				if planes[i][j] != orig[i][j] {
+					t.Fatalf("n=%d plane %d byte %d differs", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestPredictDecodeRangeIncremental checks that decoding planes in two
+// batches (as refinement does) matches decoding them all at once.
+func TestPredictDecodeRangeIncremental(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	vals := randValues(r, 333)
+	planes := Split(vals)
+	PredictEncode(planes)
+
+	allAtOnce := make([][]byte, len(planes))
+	for i, p := range planes {
+		allAtOnce[i] = append([]byte(nil), p...)
+	}
+	PredictDecode(allAtOnce)
+
+	twoBatches := make([][]byte, len(planes))
+	for i, p := range planes {
+		twoBatches[i] = append([]byte(nil), p...)
+	}
+	PredictDecodeRange(twoBatches, 0, 10)
+	PredictDecodeRange(twoBatches, 10, 32)
+
+	for i := range planes {
+		for j := range planes[i] {
+			if allAtOnce[i][j] != twoBatches[i][j] {
+				t.Fatalf("plane %d byte %d: batch decode differs", i, j)
+			}
+		}
+	}
+}
+
+func TestPredictRoundTripProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		planes := Split(raw)
+		PredictEncode(planes)
+		PredictDecode(planes)
+		got := Merge(planes, len(raw))
+		for i := range raw {
+			if got[i] != raw[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumUsedPlanes(t *testing.T) {
+	cases := []struct {
+		vals []uint32
+		want int
+	}{
+		{[]uint32{0, 0, 0}, 0},
+		{[]uint32{1}, 1},
+		{[]uint32{1, 2}, 2},
+		{[]uint32{0xFF}, 8},
+		{[]uint32{1 << 31}, 32},
+		{[]uint32{}, 0},
+	}
+	for _, c := range cases {
+		if got := NumUsedPlanes(c.vals); got != c.want {
+			t.Errorf("NumUsedPlanes(%v) = %d, want %d", c.vals, got, c.want)
+		}
+	}
+}
+
+func TestSubsliceSkipLeadingZeroPlanes(t *testing.T) {
+	// The compressor encodes only the trailing `used` planes; verify that
+	// predict-coding the subslice round-trips and merging with leading
+	// zero planes restores values.
+	vals := []uint32{5, 9, 12, 0, 3}
+	used := NumUsedPlanes(vals)
+	all := Split(vals)
+	sub := all[32-used:]
+	PredictEncode(sub)
+	PredictDecode(sub)
+	full := make([][]byte, Planes)
+	for i, p := range sub {
+		full[32-used+i] = p
+	}
+	got := Merge(full, len(vals))
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("value %d: got %d want %d", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestOnesAndEntropy(t *testing.T) {
+	plane := []byte{0b10101010, 0b11000000}
+	if got := Ones(plane, 16); got != 6 {
+		t.Errorf("Ones = %d, want 6", got)
+	}
+	if got := Ones(plane, 8); got != 4 {
+		t.Errorf("Ones(first 8) = %d, want 4", got)
+	}
+	// 10 values: 1,0,1,0,1,0,1,0,1,1 -> 6 ones of 10.
+	if got := Ones(plane, 10); got != 6 {
+		t.Errorf("Ones(first 10) = %d, want 6", got)
+	}
+	if e := BitEntropy(plane, 8); e != 1.0 {
+		t.Errorf("BitEntropy of half-ones = %v, want 1", e)
+	}
+	allZero := []byte{0, 0}
+	if e := BitEntropy(allZero, 16); e != 0 {
+		t.Errorf("BitEntropy of zeros = %v, want 0", e)
+	}
+}

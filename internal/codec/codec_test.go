@@ -1,0 +1,178 @@
+package codec
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeflateInflateRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 100, 10000} {
+		src := make([]byte, n)
+		r.Read(src)
+		got, err := Inflate(Deflate(src), n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatalf("n=%d: round trip mismatch", n)
+		}
+	}
+}
+
+func TestInflateRejectsWrongSize(t *testing.T) {
+	blob := Deflate([]byte("hello world"))
+	if _, err := Inflate(blob, 5); err == nil {
+		t.Error("expected error for declared size shorter than stream")
+	}
+	if _, err := Inflate(blob, 50); err == nil {
+		t.Error("expected error for declared size longer than stream")
+	}
+}
+
+func TestEncodeDecodeBlock(t *testing.T) {
+	cases := [][]byte{
+		{},
+		make([]byte, 100),            // all zeros -> methodZero
+		bytes.Repeat([]byte{7}, 500), // compressible
+		randomBytes(64),              // likely incompressible -> raw
+	}
+	for i, src := range cases {
+		blk := EncodeBlock(src)
+		got, err := DecodeBlock(blk, len(src))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatalf("case %d: mismatch", i)
+		}
+	}
+}
+
+func TestZeroBlockIsOneByte(t *testing.T) {
+	blk := EncodeBlock(make([]byte, 4096))
+	if len(blk) != 1 {
+		t.Errorf("all-zero block encoded to %d bytes, want 1", len(blk))
+	}
+}
+
+func TestDecodeBlockErrors(t *testing.T) {
+	if _, err := DecodeBlock(nil, 0); err == nil {
+		t.Error("empty block must error")
+	}
+	if _, err := DecodeBlock([]byte{99}, 0); err == nil {
+		t.Error("unknown method must error")
+	}
+	if _, err := DecodeBlock([]byte{methodRaw, 1, 2}, 5); err == nil {
+		t.Error("raw block with wrong size must error")
+	}
+}
+
+func randomBytes(n int) []byte {
+	r := rand.New(rand.NewSource(42))
+	b := make([]byte, n)
+	r.Read(b)
+	return b
+}
+
+func TestHuffmanRoundTripBasic(t *testing.T) {
+	cases := [][]int32{
+		{},
+		{0},
+		{5, 5, 5, 5},
+		{1, -1, 2, -2, 0, 0, 0, 0, 0, 7},
+		{math.MaxInt32, math.MinInt32, 0},
+	}
+	for i, data := range cases {
+		got, err := HuffmanDecode(HuffmanEncode(data))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(got) != len(data) {
+			t.Fatalf("case %d: length %d want %d", i, len(got), len(data))
+		}
+		for j := range data {
+			if got[j] != data[j] {
+				t.Fatalf("case %d: element %d: got %d want %d", i, j, got[j], data[j])
+			}
+		}
+	}
+}
+
+func TestHuffmanRoundTripProperty(t *testing.T) {
+	f := func(data []int32) bool {
+		got, err := HuffmanDecode(HuffmanEncode(data))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(data) {
+			return false
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHuffmanSkewedDistributionCompresses(t *testing.T) {
+	// Quantization indices concentrate near zero; Huffman should beat the
+	// raw 4 bytes/value representation by a wide margin.
+	r := rand.New(rand.NewSource(7))
+	data := make([]int32, 100000)
+	for i := range data {
+		data[i] = int32(r.NormFloat64() * 2)
+	}
+	blob := HuffmanEncode(data)
+	if len(blob) >= 4*len(data)/2 {
+		t.Errorf("huffman output %d bytes for %d values; expected < half of raw", len(blob), len(data))
+	}
+	got, err := HuffmanDecode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestHuffmanDecodeTruncated(t *testing.T) {
+	blob := HuffmanEncode([]int32{1, 2, 3, 4, 5, 6, 7, 8})
+	for cut := 0; cut < len(blob)-1; cut++ {
+		if _, err := HuffmanDecode(blob[:cut]); err == nil {
+			// Some prefixes may decode by accident only if they contain the
+			// full bitstream; cutting before the end must fail.
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestEntropyBits(t *testing.T) {
+	if e := EntropyBits([]int32{1, 1, 1, 1}); e != 0 {
+		t.Errorf("uniform single symbol entropy = %v", e)
+	}
+	if e := EntropyBits([]int32{0, 1, 0, 1}); e != 1 {
+		t.Errorf("two equal symbols entropy = %v, want 1", e)
+	}
+	if e := EntropyBits(nil); e != 0 {
+		t.Errorf("empty entropy = %v", e)
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int32{0, 1, -1, math.MaxInt32, math.MinInt32, 123456, -123456} {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Errorf("zigzag round trip %d -> %d", v, got)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package codec provides the lossless back ends used by the compressors in
+// this repository: a DEFLATE wrapper standing in for zstd (the Go standard
+// library has no zstd; both are LZ77-family pattern extractors, see
+// DESIGN.md), a canonical Huffman coder for quantization indices (used by
+// the SZ3-lite baseline exactly as SZ3 uses Huffman), and a byte-oriented
+// run-length coder for sparse bitplanes.
+package codec
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+)
+
+// flateLevel trades speed for ratio; level 1 ("best speed") approximates
+// zstd's default-speed behaviour far better than DEFLATE's default level 6.
+const flateLevel = 1
+
+// Deflate compresses src with DEFLATE. It never fails for in-memory writers;
+// any internal error indicates a programming bug and panics.
+func Deflate(src []byte) []byte {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flateLevel)
+	if err != nil {
+		panic(fmt.Sprintf("codec: flate.NewWriter: %v", err))
+	}
+	if _, err := w.Write(src); err != nil {
+		panic(fmt.Sprintf("codec: flate write: %v", err))
+	}
+	if err := w.Close(); err != nil {
+		panic(fmt.Sprintf("codec: flate close: %v", err))
+	}
+	return buf.Bytes()
+}
+
+// Inflate decompresses a Deflate-produced block. dstSize is the expected
+// decompressed size and is validated.
+func Inflate(src []byte, dstSize int) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(src))
+	defer r.Close()
+	dst := make([]byte, dstSize)
+	if _, err := io.ReadFull(r, dst); err != nil {
+		return nil, fmt.Errorf("codec: inflate: %w", err)
+	}
+	// Make sure there is no trailing garbage beyond the declared size.
+	var tail [1]byte
+	if n, _ := r.Read(tail[:]); n != 0 {
+		return nil, fmt.Errorf("codec: inflate: block longer than declared %d bytes", dstSize)
+	}
+	return dst, nil
+}
+
+// Block wraps a payload with a 1-byte method tag so the cheaper of
+// raw/deflate storage is chosen per block. This mirrors what real
+// compressors do for incompressible bitplanes (e.g. the sign-noise LSBs).
+const (
+	methodRaw     = 0
+	methodDeflate = 1
+	methodZero    = 2
+)
+
+// EncodeBlock stores src in whichever of zero/raw/DEFLATE form is smaller.
+// All-zero payloads (empty bitplanes) collapse to a single tag byte.
+func EncodeBlock(src []byte) []byte {
+	zero := true
+	for _, b := range src {
+		if b != 0 {
+			zero = false
+			break
+		}
+	}
+	if zero {
+		return []byte{methodZero}
+	}
+	comp := Deflate(src)
+	if len(comp) < len(src) {
+		out := make([]byte, 1+len(comp))
+		out[0] = methodDeflate
+		copy(out[1:], comp)
+		return out
+	}
+	out := make([]byte, 1+len(src))
+	out[0] = methodRaw
+	copy(out[1:], src)
+	return out
+}
+
+// DecodeBlock inverts EncodeBlock; dstSize is the expected payload size.
+func DecodeBlock(blk []byte, dstSize int) ([]byte, error) {
+	if len(blk) == 0 {
+		return nil, fmt.Errorf("codec: empty block")
+	}
+	switch blk[0] {
+	case methodRaw:
+		if len(blk)-1 != dstSize {
+			return nil, fmt.Errorf("codec: raw block size %d, want %d", len(blk)-1, dstSize)
+		}
+		out := make([]byte, dstSize)
+		copy(out, blk[1:])
+		return out, nil
+	case methodDeflate:
+		return Inflate(blk[1:], dstSize)
+	case methodZero:
+		return make([]byte, dstSize), nil
+	default:
+		return nil, fmt.Errorf("codec: unknown block method %d", blk[0])
+	}
+}

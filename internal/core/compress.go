@@ -1,0 +1,199 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/bitplane"
+	"repro/internal/codec"
+	"repro/internal/grid"
+	"repro/internal/interp"
+	"repro/internal/nb"
+	"repro/internal/quant"
+)
+
+// Compress encodes the grid into an IPComp archive. The input data is not
+// modified. The returned blob decompresses to within opt.ErrorBound of the
+// input at every point, and supports progressive retrieval at any coarser
+// fidelity.
+func Compress(g *grid.Grid, opt Options) ([]byte, error) {
+	if !(opt.ErrorBound > 0) || math.IsInf(opt.ErrorBound, 0) {
+		return nil, fmt.Errorf("core: error bound must be positive and finite, got %v", opt.ErrorBound)
+	}
+	if opt.Interpolation != interp.Linear && opt.Interpolation != interp.Cubic {
+		return nil, fmt.Errorf("core: unknown interpolation kind %d", opt.Interpolation)
+	}
+	threshold := opt.ProgressiveThreshold
+	if threshold <= 0 {
+		threshold = DefaultProgressiveThreshold
+	}
+
+	dec, err := interp.NewDecomposition(g.Shape())
+	if err != nil {
+		return nil, err
+	}
+	L := dec.NumLevels()
+	q := quant.New(opt.ErrorBound)
+
+	// Work on a copy: compression simulates decompression in place so that
+	// predictions always come from reconstructed (lossy) values.
+	work := make([]float64, g.Len())
+	copy(work, g.Data())
+
+	h := &header{
+		kind:   opt.Interpolation,
+		shape:  g.Shape().Clone(),
+		eb:     opt.ErrorBound,
+		levels: L,
+		meta:   make([]levelMeta, L),
+	}
+
+	// Anchors are stored losslessly and stay exact in the work array.
+	anchorIdx := dec.Anchors()
+	h.anchors = make([]float64, len(anchorIdx))
+	for i, idx := range anchorIdx {
+		h.anchors[i] = work[idx]
+	}
+
+	// Quantize each level against predictions from the (lossy) work array.
+	qvals := make([][]int32, L+1) // 1-based by level
+	for l := L; l >= 1; l-- {
+		m := h.metaOf(l)
+		var ks []int32
+		seq := uint32(0)
+		dec.VisitLevel(work, l, opt.Interpolation, func(idx int, pred float64) float64 {
+			k, recon, ok := q.QuantizeReconstruct(work[idx], pred)
+			if !ok {
+				m.outlierIdx = append(m.outlierIdx, seq)
+				m.outlierVal = append(m.outlierVal, work[idx])
+				k, recon = 0, work[idx]
+			}
+			ks = append(ks, k)
+			seq++
+			return recon
+		})
+		m.count = len(ks)
+		qvals[l] = ks
+	}
+
+	// Decide which levels are progressive: level counts grow roughly 2^D
+	// per finer level, so the progressive set is a prefix 1..Lp.
+	h.prog = 0
+	for l := 1; l <= L; l++ {
+		if h.metaOf(l).count >= threshold {
+			h.prog = l
+		} else {
+			break
+		}
+	}
+
+	// Bitplane-encode every level. Non-progressive levels use the same
+	// encoding (a retrieval simply always loads all their planes), which
+	// keeps the format uniform.
+	blocks := make([][][]byte, L+1)
+	for l := 1; l <= L; l++ {
+		m := h.metaOf(l)
+		ks := qvals[l]
+		nbv := make([]uint32, len(ks))
+		for i, k := range ks {
+			nbv[i] = nb.Encode32(k)
+		}
+		used := bitplane.NumUsedPlanes(nbv)
+		m.usedPlanes = used
+		m.maxDrop = exactMaxDrop(ks, nbv, used)
+
+		all := bitplane.Split(nbv)
+		planes := all[32-used:] // drop the identically-zero leading planes
+		bitplane.PredictEncode(planes)
+		m.blockSizes = make([]uint32, used)
+		blocks[l] = make([][]byte, used)
+		// Blocks are independent after predictive coding; DEFLATE them
+		// concurrently (bit-identical to the serial order).
+		parallelFor(used, func(p int) {
+			blocks[l][p] = codec.EncodeBlock(planes[p])
+		})
+		for p := 0; p < used; p++ {
+			m.blockSizes[p] = uint32(len(blocks[l][p]))
+		}
+	}
+
+	head := h.marshal()
+	h.headerSize = int64(len(head))
+	h.computeOffsets()
+
+	out := make([]byte, 0, h.totalSize())
+	out = append(out, head...)
+	for l := L; l >= 1; l-- {
+		for _, blk := range blocks[l] {
+			out = append(out, blk...)
+		}
+	}
+	return out, nil
+}
+
+// exactMaxDrop computes maxDrop[d] = max_i |k_i - decode(truncate(nb_i, d))|
+// for d = 0..used. This is the per-level ‖δy‖∞ table (in quantization-step
+// units) that the retrieval optimizer consumes. The scan is O(used·n) and
+// embarrassingly parallel, so it is chunked across cores; per-chunk maxima
+// merge with max, which is order-independent.
+func exactMaxDrop(ks []int32, nbv []uint32, used int) []uint32 {
+	maxDrop := make([]uint32, used+1)
+	if used == 0 || len(nbv) == 0 {
+		return maxDrop
+	}
+	const minChunk = 1 << 14
+	chunks := maxWorkers((len(nbv) + minChunk - 1) / minChunk)
+	partial := make([][]uint32, chunks)
+	per := (len(nbv) + chunks - 1) / chunks
+	parallelFor(chunks, func(c int) {
+		lo := c * per
+		hi := lo + per
+		if hi > len(nbv) {
+			hi = len(nbv)
+		}
+		local := make([]uint32, used+1)
+		for i := lo; i < hi; i++ {
+			k := int64(ks[i])
+			u := nbv[i]
+			for d := 1; d <= used; d++ {
+				t := int64(nb.Decode32(nb.Truncate(u, d)))
+				diff := k - t
+				if diff < 0 {
+					diff = -diff
+				}
+				if uint32(diff) > local[d] {
+					local[d] = uint32(diff)
+				}
+			}
+		}
+		partial[c] = local
+	})
+	for _, local := range partial {
+		for d := 1; d <= used; d++ {
+			if local[d] > maxDrop[d] {
+				maxDrop[d] = local[d]
+			}
+		}
+	}
+	return maxDrop
+}
+
+// Decompress performs a full-fidelity reconstruction of an archive held
+// entirely in memory. It is equivalent to NewArchive(blob) followed by
+// RetrieveAll, without retaining progressive state.
+func Decompress(blob []byte) (*grid.Grid, error) {
+	a, err := NewArchive(blob)
+	if err != nil {
+		return nil, err
+	}
+	res, err := a.RetrieveAll()
+	if err != nil {
+		return nil, err
+	}
+	return res.Grid(), nil
+}
+
+// ErrBoundTooTight is returned when a retrieval error bound is below the
+// compression-time bound, which no loading strategy can satisfy.
+var ErrBoundTooTight = errors.New("core: requested bound is tighter than the compression error bound")

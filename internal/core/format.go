@@ -1,0 +1,333 @@
+// Package core implements the IPComp compressor itself: the archive format,
+// the progressive encoder built on the interpolation predictor
+// (internal/interp), negabinary bitplane coding (internal/nb,
+// internal/bitplane), and the DP-based optimized data loader (paper §5).
+//
+// Archive layout:
+//
+//	header (always loaded)
+//	  magic, version, interpolation kind, shape, error bound
+//	  L (levels), Lp (progressive levels)
+//	  anchor values (raw float64, lossless)
+//	  per level: element count, outlier table, used-plane count,
+//	             per-plane compressed block sizes, maxDrop truncation table
+//	blocks (loaded on demand)
+//	  level L..1 (coarse first), bitplane MSB..LSB within a level
+//
+// The maxDrop table records, for every level l and every possible number of
+// dropped low bitplanes d, the exact maximum quantization-index error
+// max_i |k_i - negabinaryTruncate(k_i, d)| observed in that level. This is
+// the ‖δy_l‖∞ of the paper's Theorem 1 (in units of the quantization step),
+// and it is what makes the optimizer's error predictions tight.
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/interp"
+)
+
+// Magic identifies IPComp archives ("IPC1" little-endian).
+const Magic = 0x31435049
+
+// Version is the archive format version produced by this package.
+const Version = 1
+
+// DefaultProgressiveThreshold is the minimum number of elements a level
+// must have to be bitplane-progressive. Smaller (coarser) levels are always
+// loaded in full: they are cheap, and their truncation error would be
+// amplified through every finer level.
+const DefaultProgressiveThreshold = 4096
+
+// BoundMode selects how the optimizer weighs the truncation loss of coarse
+// levels when predicting the final L∞ error (see DESIGN.md).
+type BoundMode uint8
+
+const (
+	// SafeBound uses the conservative per-level weight
+	// (p^D)^(l-1) · (1+p+...+p^(D-1)) that accounts for dimension-by-
+	// dimension prediction inside a level. Retrieval error bounds are hard
+	// guarantees under this mode. This is the default.
+	SafeBound BoundMode = iota
+	// PaperBound uses the paper's Eq. (5) weight p^(l-1), which assumes a
+	// single prediction application per level. It loads less data but the
+	// guarantee relies on errors not compounding within a level.
+	PaperBound
+)
+
+// Options configures compression.
+type Options struct {
+	// ErrorBound is the point-wise absolute error bound eb (> 0).
+	ErrorBound float64
+	// Interpolation selects linear or cubic prediction. Cubic is the
+	// paper's default and almost always wins on smooth scientific data.
+	Interpolation interp.Kind
+	// ProgressiveThreshold overrides DefaultProgressiveThreshold when > 0.
+	ProgressiveThreshold int
+}
+
+// levelMeta is the per-level bookkeeping stored in the header.
+type levelMeta struct {
+	count      int       // number of elements in the level
+	outlierIdx []uint32  // positions (in level visit order) escaped losslessly
+	outlierVal []float64 // their exact values
+	usedPlanes int       // number of stored MSB-first planes (0..32)
+	blockSizes []uint32  // compressed size of each stored plane, MSB first
+	maxDrop    []uint32  // maxDrop[d], d=0..usedPlanes: exact truncation loss
+}
+
+// header is the always-loaded portion of an archive.
+type header struct {
+	kind    interp.Kind
+	shape   grid.Shape
+	eb      float64
+	levels  int // L
+	prog    int // Lp: levels 1..prog are progressive
+	anchors []float64
+	meta    []levelMeta // index 0 -> level 1 (finest) ... levels-1 -> level L
+	// headerSize is the serialized header length; block offsets are
+	// relative to this.
+	headerSize int64
+	// blockOff[l][p] is the absolute offset of level (l+1)'s plane p block.
+	blockOff [][]int64
+}
+
+func (h *header) metaOf(level int) *levelMeta { return &h.meta[level-1] }
+
+// computeOffsets fills blockOff from the block sizes, laying blocks out
+// coarse level first, MSB plane first — the order a monotone refinement
+// reads them.
+func (h *header) computeOffsets() {
+	h.blockOff = make([][]int64, h.levels)
+	off := h.headerSize
+	for l := h.levels; l >= 1; l-- {
+		m := h.metaOf(l)
+		offs := make([]int64, m.usedPlanes)
+		for p := 0; p < m.usedPlanes; p++ {
+			offs[p] = off
+			off += int64(m.blockSizes[p])
+		}
+		h.blockOff[l-1] = offs
+	}
+}
+
+// totalSize returns the full archive size in bytes.
+func (h *header) totalSize() int64 {
+	size := h.headerSize
+	for _, m := range h.meta {
+		for _, s := range m.blockSizes {
+			size += int64(s)
+		}
+	}
+	return size
+}
+
+func (h *header) marshal() []byte {
+	var buf bytes.Buffer
+	w := func(v interface{}) { binary.Write(&buf, binary.LittleEndian, v) }
+	w(uint32(Magic))
+	w(uint8(Version))
+	w(uint8(h.kind))
+	w(uint8(len(h.shape)))
+	w(uint8(0)) // reserved
+	for _, d := range h.shape {
+		w(uint32(d))
+	}
+	w(h.eb)
+	w(uint8(h.levels))
+	w(uint8(h.prog))
+	w(uint32(len(h.anchors)))
+	for _, a := range h.anchors {
+		w(a)
+	}
+	for l := 1; l <= h.levels; l++ {
+		m := h.metaOf(l)
+		w(uint32(m.count))
+		w(uint32(len(m.outlierIdx)))
+		for i := range m.outlierIdx {
+			w(m.outlierIdx[i])
+			w(m.outlierVal[i])
+		}
+		w(uint8(m.usedPlanes))
+		for _, s := range m.blockSizes {
+			w(s)
+		}
+		for _, d := range m.maxDrop {
+			w(d)
+		}
+	}
+	// Prefix the header with its own length so readers know where blocks
+	// start: 8-byte little-endian length, then the payload above.
+	out := make([]byte, 8+buf.Len())
+	binary.LittleEndian.PutUint64(out, uint64(buf.Len()))
+	copy(out[8:], buf.Bytes())
+	return out
+}
+
+var errTruncated = errors.New("core: truncated archive header")
+
+type reader struct {
+	b   []byte
+	pos int
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if r.pos+n > len(r.b) {
+		return nil, errTruncated
+	}
+	out := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return out, nil
+}
+
+func (r *reader) u8() (uint8, error) {
+	b, err := r.bytes(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	b, err := r.bytes(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *reader) f64() (float64, error) {
+	b, err := r.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
+}
+
+// unmarshalHeader parses a serialized header (including the length prefix).
+func unmarshalHeader(raw []byte) (*header, error) {
+	if len(raw) < 8 {
+		return nil, errTruncated
+	}
+	payloadLen := binary.LittleEndian.Uint64(raw)
+	if uint64(len(raw)-8) < payloadLen {
+		return nil, errTruncated
+	}
+	r := &reader{b: raw[8 : 8+payloadLen]}
+	magic, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != Magic {
+		return nil, fmt.Errorf("core: bad magic %#x", magic)
+	}
+	version, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if version != Version {
+		return nil, fmt.Errorf("core: unsupported archive version %d", version)
+	}
+	kind, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	ndims, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := r.u8(); err != nil { // reserved
+		return nil, err
+	}
+	if ndims == 0 || int(ndims) > grid.MaxDims {
+		return nil, fmt.Errorf("core: invalid rank %d", ndims)
+	}
+	h := &header{kind: interp.Kind(kind)}
+	h.shape = make(grid.Shape, ndims)
+	for i := range h.shape {
+		d, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		h.shape[i] = int(d)
+	}
+	if err := h.shape.Validate(); err != nil {
+		return nil, err
+	}
+	if h.eb, err = r.f64(); err != nil {
+		return nil, err
+	}
+	lv, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	pg, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	h.levels, h.prog = int(lv), int(pg)
+	if h.levels < 1 || h.prog > h.levels {
+		return nil, fmt.Errorf("core: invalid level counts L=%d Lp=%d", h.levels, h.prog)
+	}
+	nanchor, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	h.anchors = make([]float64, nanchor)
+	for i := range h.anchors {
+		if h.anchors[i], err = r.f64(); err != nil {
+			return nil, err
+		}
+	}
+	h.meta = make([]levelMeta, h.levels)
+	for l := 1; l <= h.levels; l++ {
+		m := h.metaOf(l)
+		cnt, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		m.count = int(cnt)
+		nout, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		m.outlierIdx = make([]uint32, nout)
+		m.outlierVal = make([]float64, nout)
+		for i := 0; i < int(nout); i++ {
+			if m.outlierIdx[i], err = r.u32(); err != nil {
+				return nil, err
+			}
+			if m.outlierVal[i], err = r.f64(); err != nil {
+				return nil, err
+			}
+		}
+		up, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		m.usedPlanes = int(up)
+		if m.usedPlanes > 32 {
+			return nil, fmt.Errorf("core: level %d has %d planes", l, m.usedPlanes)
+		}
+		m.blockSizes = make([]uint32, m.usedPlanes)
+		for p := range m.blockSizes {
+			if m.blockSizes[p], err = r.u32(); err != nil {
+				return nil, err
+			}
+		}
+		m.maxDrop = make([]uint32, m.usedPlanes+1)
+		for d := range m.maxDrop {
+			if m.maxDrop[d], err = r.u32(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	h.headerSize = int64(8 + payloadLen)
+	h.computeOffsets()
+	return h, nil
+}

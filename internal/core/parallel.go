@@ -1,0 +1,78 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The bitplane blocks of an archive are mutually independent — each is
+// XOR-predicted from planes above it *before* entropy coding, and entropy
+// coding is per block — so the DEFLATE stage parallelizes embarrassingly.
+// This file provides the worker-pool helpers used by compression (encode
+// all planes of a level concurrently) and retrieval (decode the selected
+// planes concurrently). Results land in pre-sized slices by index, so the
+// output is bit-identical to the serial path regardless of scheduling.
+
+// maxWorkers bounds the encode/decode pool. Compression is CPU-bound; one
+// worker per core is the sweet spot.
+func maxWorkers(jobs int) int {
+	w := runtime.GOMAXPROCS(0)
+	if jobs < w {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelFor runs fn(i) for i in [0, n) on a bounded worker pool. fn must
+// only write to per-index state.
+func parallelFor(n int, fn func(i int)) {
+	workers := maxWorkers(n)
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// firstError collects the first error from concurrent workers.
+type firstError struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (f *firstError) set(err error) {
+	if err == nil {
+		return
+	}
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+}
+
+func (f *firstError) get() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitplane"
+	"repro/internal/codec"
+	"repro/internal/grid"
+	"repro/internal/nb"
+)
+
+// Result is a progressive reconstruction: the decompressed field at some
+// fidelity plus the state needed to refine it in place by loading further
+// bitplanes (paper Algorithm 2).
+type Result struct {
+	arch *Archive
+	plan Plan
+	data []float64
+	// planes[l-1][p] is the decoded (post-XOR-prediction) packed bitplane p
+	// of level l, nil when not yet loaded. Kept so refinement can undo the
+	// predictive coding of newly loaded planes without re-reading old ones.
+	planes [][][]byte
+	// trunc[l-1] is each level's current truncated quantization index
+	// (decoded from the loaded planes), used to compute refinement deltas.
+	trunc [][]int32
+	// loadedBytes counts every archive byte read so far, header included.
+	loadedBytes int64
+}
+
+// Grid returns the reconstructed field wrapped in a grid. The backing slice
+// is shared with the result; refinement updates it in place.
+func (r *Result) Grid() *grid.Grid {
+	g, err := grid.FromSlice(r.data, r.arch.Shape())
+	if err != nil {
+		panic(err) // shape came from the archive; cannot mismatch
+	}
+	return g
+}
+
+// Data returns the reconstructed values in row-major order (shared slice).
+func (r *Result) Data() []float64 { return r.data }
+
+// LoadedBytes reports how many archive bytes have been read for this result
+// so far, including the header and all refinements.
+func (r *Result) LoadedBytes() int64 { return r.loadedBytes }
+
+// Bitrate reports the loaded bits per value.
+func (r *Result) Bitrate() float64 {
+	return float64(r.loadedBytes) * 8 / float64(len(r.data))
+}
+
+// GuaranteedError returns the L∞ bound that the current plan guarantees.
+func (r *Result) GuaranteedError() float64 { return r.arch.PlanErrorBound(r.plan) }
+
+// Plan returns a copy of the current loading plan.
+func (r *Result) Plan() Plan { return r.plan.clone() }
+
+// RetrieveAll loads every block and reconstructs at full fidelity (error
+// within the compression bound eb).
+func (a *Archive) RetrieveAll() (*Result, error) { return a.Retrieve(a.fullPlan()) }
+
+// RetrieveErrorBound reconstructs with the cheapest plan guaranteeing the
+// given absolute L∞ bound (error-bound mode, paper §5.2).
+func (a *Archive) RetrieveErrorBound(bound float64) (*Result, error) {
+	plan, err := a.PlanErrorBoundMode(bound)
+	if err != nil {
+		return nil, err
+	}
+	return a.Retrieve(plan)
+}
+
+// RetrieveBitrate reconstructs with the most accurate plan that loads at
+// most the given number of bits per value (fixed-rate mode, paper §5.3).
+func (a *Archive) RetrieveBitrate(bitsPerValue float64) (*Result, error) {
+	n := a.h.shape.Len()
+	maxBytes := int64(bitsPerValue * float64(n) / 8)
+	plan, err := a.PlanBitrateMode(maxBytes)
+	if err != nil {
+		return nil, err
+	}
+	return a.Retrieve(plan)
+}
+
+// Retrieve reconstructs according to an explicit plan (Algorithm 1).
+func (a *Archive) Retrieve(plan Plan) (*Result, error) {
+	if len(plan.Keep) != a.h.levels {
+		return nil, fmt.Errorf("core: plan has %d levels, archive %d", len(plan.Keep), a.h.levels)
+	}
+	r := &Result{
+		arch:        a,
+		plan:        Plan{Keep: make([]int, a.h.levels)}, // raised by loadPlanes
+		data:        make([]float64, a.h.shape.Len()),
+		planes:      make([][][]byte, a.h.levels),
+		trunc:       make([][]int32, a.h.levels),
+		loadedBytes: a.h.headerSize,
+	}
+	for l := 1; l <= a.h.levels; l++ {
+		m := a.h.metaOf(l)
+		r.planes[l-1] = make([][]byte, m.usedPlanes)
+		r.trunc[l-1] = make([]int32, m.count)
+		// Non-progressive levels always load everything.
+		want := plan.Keep[l-1]
+		if l > a.h.prog {
+			want = m.usedPlanes
+		}
+		if err := r.loadPlanes(l, want); err != nil {
+			return nil, err
+		}
+	}
+
+	// Algorithm 1: place anchors, then predict level by level, coarse to
+	// fine, adding each level's dequantized (possibly truncated) residual.
+	for i, idx := range a.dec.Anchors() {
+		if i >= len(a.h.anchors) {
+			return nil, fmt.Errorf("core: anchor table too short")
+		}
+		r.data[idx] = a.h.anchors[i]
+	}
+	for l := a.h.levels; l >= 1; l-- {
+		ks := r.trunc[l-1]
+		m := a.h.metaOf(l)
+		seq := 0
+		oi := 0
+		a.dec.VisitLevel(r.data, l, a.h.kind, func(_ int, pred float64) float64 {
+			v := pred + a.quant.Dequantize(ks[seq])
+			if oi < len(m.outlierIdx) && m.outlierIdx[oi] == uint32(seq) {
+				v = m.outlierVal[oi]
+				oi++
+			}
+			seq++
+			return v
+		})
+		if seq != m.count {
+			return nil, fmt.Errorf("core: level %d visited %d points, header says %d", l, seq, m.count)
+		}
+	}
+	return r, nil
+}
+
+// loadPlanes raises level l's loaded plane count to want, decoding the new
+// planes and updating the truncated indices. It returns the per-element
+// index delta only implicitly via r.trunc.
+func (r *Result) loadPlanes(level, want int) error {
+	a := r.arch
+	m := a.h.metaOf(level)
+	if want > m.usedPlanes {
+		want = m.usedPlanes
+	}
+	have := r.plan.Keep[level-1]
+	if want <= have {
+		return nil
+	}
+	// Read the block bytes sequentially (they are adjacent in the archive),
+	// then inflate them concurrently — blocks are independent.
+	planeBytes := (m.count + 7) / 8
+	raw := make([][]byte, want)
+	for p := have; p < want; p++ {
+		blk, err := a.src.ReadRange(a.h.blockOff[level-1][p], int(m.blockSizes[p]))
+		if err != nil {
+			return err
+		}
+		raw[p] = blk
+		r.loadedBytes += int64(m.blockSizes[p])
+	}
+	var ferr firstError
+	parallelFor(want-have, func(i int) {
+		p := have + i
+		plane, err := codec.DecodeBlock(raw[p], planeBytes)
+		if err != nil {
+			ferr.set(fmt.Errorf("core: level %d plane %d: %w", level, p, err))
+			return
+		}
+		r.planes[level-1][p] = plane
+	})
+	if err := ferr.get(); err != nil {
+		return err
+	}
+	// Undo the predictive XOR coding for the newly loaded planes only; the
+	// planes above them were decoded when they were loaded.
+	bitplane.PredictDecodeRange(r.planes[level-1], have, want)
+
+	// Recompute the truncated indices from the loaded prefix.
+	full := make([][]byte, bitplane.Planes)
+	base := bitplane.Planes - m.usedPlanes
+	for p := 0; p < want; p++ {
+		full[base+p] = r.planes[level-1][p]
+	}
+	nbv := make([]uint32, m.count)
+	bitplane.MergeInto(nbv, full)
+	ks := r.trunc[level-1]
+	for i, u := range nbv {
+		ks[i] = nb.Decode32(u)
+	}
+	r.plan.Keep[level-1] = want
+	return nil
+}
+
+// RefineTo raises the result to a finer plan in place (Algorithm 2): only
+// the newly selected bitplanes are loaded; their dequantized index deltas
+// are propagated through the (linear) interpolation operator and added onto
+// the existing reconstruction — a single pass, no re-decoding of old data.
+//
+// Plans that would *drop* planes at some level are clamped: progressive
+// retrieval only ever adds information.
+func (r *Result) RefineTo(plan Plan) error {
+	a := r.arch
+	if len(plan.Keep) != a.h.levels {
+		return fmt.Errorf("core: plan has %d levels, archive %d", len(plan.Keep), a.h.levels)
+	}
+	// Compute per-level residual deltas for levels that gain planes.
+	deltas := make([][]float64, a.h.levels)
+	changedBelow := 0 // finest changed level, 0 = none
+	for l := 1; l <= a.h.prog; l++ {
+		m := a.h.metaOf(l)
+		want := plan.Keep[l-1]
+		have := r.plan.Keep[l-1]
+		if want <= have {
+			continue
+		}
+		old := make([]int32, m.count)
+		copy(old, r.trunc[l-1])
+		if err := r.loadPlanes(l, want); err != nil {
+			return err
+		}
+		d := make([]float64, m.count)
+		for i := range d {
+			d[i] = a.quant.Dequantize(r.trunc[l-1][i] - old[i])
+		}
+		// Outlier positions carry exact values already; their index delta
+		// must not perturb them.
+		for _, oi := range m.outlierIdx {
+			d[oi] = 0
+		}
+		deltas[l-1] = d
+		if l > changedBelow {
+			changedBelow = l
+		}
+	}
+	if changedBelow == 0 {
+		return nil
+	}
+	// Propagate the deltas through the interpolation hierarchy: the
+	// predictor is linear, so reconstructing the delta field and adding it
+	// is equivalent (up to floating-point rounding) to a fresh retrieval.
+	delta := make([]float64, len(r.data))
+	for l := changedBelow; l >= 1; l-- {
+		dl := deltas[l-1]
+		seq := 0
+		a.dec.VisitLevel(delta, l, a.h.kind, func(_ int, pred float64) float64 {
+			v := pred
+			if dl != nil {
+				v += dl[seq]
+			}
+			seq++
+			return v
+		})
+	}
+	for i, dv := range delta {
+		if dv != 0 {
+			r.data[i] += dv
+		}
+	}
+	return nil
+}
+
+// RefineErrorBound refines the result so the guaranteed error drops to the
+// given bound, loading only the additional bitplanes the optimizer selects.
+func (r *Result) RefineErrorBound(bound float64) error {
+	plan, err := r.arch.PlanErrorBoundMode(bound)
+	if err != nil {
+		return err
+	}
+	return r.RefineTo(plan)
+}
+
+// RefineBitrate refines the result up to a total loaded bitrate budget
+// (bits per value, counting what has already been loaded).
+func (r *Result) RefineBitrate(bitsPerValue float64) error {
+	n := len(r.data)
+	maxBytes := int64(bitsPerValue * float64(n) / 8)
+	plan, err := r.arch.PlanBitrateMode(maxBytes)
+	if err != nil {
+		return err
+	}
+	// Never drop below the current plan.
+	for i := range plan.Keep {
+		if plan.Keep[i] < r.plan.Keep[i] {
+			plan.Keep[i] = r.plan.Keep[i]
+		}
+	}
+	return r.RefineTo(plan)
+}
+
+// RefineAll loads every remaining block, reaching full fidelity.
+func (r *Result) RefineAll() error { return r.RefineTo(r.arch.fullPlan()) }

@@ -1,0 +1,435 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/interp"
+	"repro/internal/quant"
+)
+
+// BlockSource abstracts where archive bytes come from, so retrievals can
+// read from memory or lazily from a file while the archive accounts for
+// every byte actually loaded.
+type BlockSource interface {
+	// ReadRange returns n bytes starting at absolute offset off.
+	ReadRange(off int64, n int) ([]byte, error)
+	// Size returns the total archive size.
+	Size() int64
+}
+
+// bytesSource serves an in-memory archive.
+type bytesSource []byte
+
+func (b bytesSource) ReadRange(off int64, n int) ([]byte, error) {
+	if off < 0 || off+int64(n) > int64(len(b)) {
+		return nil, fmt.Errorf("core: read [%d,%d) outside archive of %d bytes", off, off+int64(n), len(b))
+	}
+	return b[off : off+int64(n)], nil
+}
+
+func (b bytesSource) Size() int64 { return int64(len(b)) }
+
+// readerAtSource serves an archive through io.ReaderAt (e.g. *os.File),
+// reading only the requested ranges — true partial retrieval.
+type readerAtSource struct {
+	r    io.ReaderAt
+	size int64
+}
+
+func (s *readerAtSource) ReadRange(off int64, n int) ([]byte, error) {
+	buf := make([]byte, n)
+	if _, err := s.r.ReadAt(buf, off); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (s *readerAtSource) Size() int64 { return s.size }
+
+// Archive provides progressive access to one compressed dataset.
+type Archive struct {
+	h     *header
+	src   BlockSource
+	mode  BoundMode
+	dec   *interp.Decomposition
+	quant quant.Quantizer
+	// weight[l-1] is the optimizer's amplification weight for truncation
+	// loss introduced at level l (see boundWeights).
+	weight []float64
+}
+
+// NewArchive opens an in-memory archive.
+func NewArchive(blob []byte) (*Archive, error) {
+	return NewArchiveFrom(bytesSource(blob))
+}
+
+// NewArchiveReaderAt opens an archive backed by an io.ReaderAt of the given
+// total size; only the header plus requested blocks are ever read.
+func NewArchiveReaderAt(r io.ReaderAt, size int64) (*Archive, error) {
+	return NewArchiveFrom(&readerAtSource{r: r, size: size})
+}
+
+// NewArchiveFrom opens an archive from an arbitrary block source.
+func NewArchiveFrom(src BlockSource) (*Archive, error) {
+	// Header length prefix first, then the full header.
+	pre, err := src.ReadRange(0, 8)
+	if err != nil {
+		return nil, err
+	}
+	hlen := int64(leUint64(pre))
+	if hlen <= 0 || hlen+8 > src.Size() {
+		return nil, fmt.Errorf("core: implausible header length %d", hlen)
+	}
+	raw, err := src.ReadRange(0, int(8+hlen))
+	if err != nil {
+		return nil, err
+	}
+	h, err := unmarshalHeader(raw)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := interp.NewDecomposition(h.shape)
+	if err != nil {
+		return nil, err
+	}
+	if dec.NumLevels() != h.levels {
+		return nil, fmt.Errorf("core: archive has %d levels, shape %v implies %d",
+			h.levels, h.shape, dec.NumLevels())
+	}
+	a := &Archive{
+		h:     h,
+		src:   src,
+		mode:  SafeBound,
+		dec:   dec,
+		quant: quant.New(h.eb),
+	}
+	a.weight = boundWeights(h, a.mode)
+	return a, nil
+}
+
+func leUint64(b []byte) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+// SetBoundMode switches between the conservative (default) and the paper's
+// error accounting; see BoundMode.
+func (a *Archive) SetBoundMode(m BoundMode) {
+	a.mode = m
+	a.weight = boundWeights(a.h, m)
+}
+
+// boundWeights returns the per-level multiplier applied to a level's
+// truncation loss when predicting the final L∞ error.
+func boundWeights(h *header, mode BoundMode) []float64 {
+	p := h.kind.Amplification()
+	d := len(h.shape)
+	w := make([]float64, h.levels)
+	switch mode {
+	case PaperBound:
+		for l := 1; l <= h.levels; l++ {
+			w[l-1] = math.Pow(p, float64(l-1))
+		}
+	default: // SafeBound
+		amp := math.Pow(p, float64(d)) // per-level amplification p^D
+		c := 0.0
+		for k := 0; k < d; k++ {
+			c += math.Pow(p, float64(k))
+		}
+		for l := 1; l <= h.levels; l++ {
+			w[l-1] = c * math.Pow(amp, float64(l-1))
+		}
+	}
+	return w
+}
+
+// Shape returns the dataset shape.
+func (a *Archive) Shape() grid.Shape { return a.h.shape }
+
+// ErrorBound returns the compression-time error bound eb.
+func (a *Archive) ErrorBound() float64 { return a.h.eb }
+
+// NumLevels returns the interpolation level count L.
+func (a *Archive) NumLevels() int { return a.h.levels }
+
+// ProgressiveLevels returns Lp, the number of bitplane-progressive levels.
+func (a *Archive) ProgressiveLevels() int { return a.h.prog }
+
+// TotalSize returns the archive size in bytes.
+func (a *Archive) TotalSize() int64 { return a.h.totalSize() }
+
+// CompressedSize is an alias of TotalSize for metric reporting.
+func (a *Archive) CompressedSize() int64 { return a.h.totalSize() }
+
+// Plan records, for every level, how many MSB-first bitplanes to load.
+// Non-progressive levels always load all their planes.
+type Plan struct {
+	// Keep[l-1] is the number of planes kept at level l (0..usedPlanes).
+	Keep []int
+}
+
+// clonePlan deep-copies a plan.
+func (p Plan) clone() Plan {
+	keep := make([]int, len(p.Keep))
+	copy(keep, p.Keep)
+	return Plan{Keep: keep}
+}
+
+// fullPlan loads every stored plane.
+func (a *Archive) fullPlan() Plan {
+	keep := make([]int, a.h.levels)
+	for l := 1; l <= a.h.levels; l++ {
+		keep[l-1] = a.h.metaOf(l).usedPlanes
+	}
+	return Plan{Keep: keep}
+}
+
+// minimalPlan loads only the mandatory data: all planes of non-progressive
+// levels, nothing from progressive ones.
+func (a *Archive) minimalPlan() Plan {
+	keep := make([]int, a.h.levels)
+	for l := 1; l <= a.h.levels; l++ {
+		if l > a.h.prog {
+			keep[l-1] = a.h.metaOf(l).usedPlanes
+		}
+	}
+	return Plan{Keep: keep}
+}
+
+// PlanBytes returns the number of archive bytes the plan loads, counting
+// the always-loaded header.
+func (a *Archive) PlanBytes(p Plan) int64 {
+	total := a.h.headerSize
+	for l := 1; l <= a.h.levels; l++ {
+		m := a.h.metaOf(l)
+		for q := 0; q < p.Keep[l-1]; q++ {
+			total += int64(m.blockSizes[q])
+		}
+	}
+	return total
+}
+
+// PlanErrorBound returns the guaranteed L∞ bound of the plan:
+// eb + sum_l weight_l · maxDrop_l(dropped) · step.
+func (a *Archive) PlanErrorBound(p Plan) float64 {
+	e := a.h.eb
+	for l := 1; l <= a.h.levels; l++ {
+		m := a.h.metaOf(l)
+		dropped := m.usedPlanes - p.Keep[l-1]
+		e += a.weight[l-1] * float64(m.maxDrop[dropped]) * a.quant.Step()
+	}
+	return e
+}
+
+// truncErr is the predicted truncation-induced error of keeping `keep`
+// planes at level l (excluding the base eb).
+func (a *Archive) truncErr(l, keep int) float64 {
+	m := a.h.metaOf(l)
+	return a.weight[l-1] * float64(m.maxDrop[m.usedPlanes-keep]) * a.quant.Step()
+}
+
+// dpOption is one per-level choice for the knapsack optimizers: drop d low
+// bitplanes, paying a discretized cost and gaining a value.
+type dpOption struct {
+	cost  int   // discretized budget cost (error units or size units)
+	value int64 // bytes saved (error-bound mode)
+	errF  float64
+}
+
+// errorUnits is the discretization granularity of the error-bound knapsack.
+// The paper normalizes the error budget into [128, 1023] discrete values;
+// 1024 units matches its upper end.
+const errorUnits = 1024
+
+// sizeUnits is the granularity of the bitrate-mode knapsack.
+const sizeUnits = 4096
+
+// PlanErrorBoundMode computes the requested bound E's loading plan (paper
+// §5.2): the byte-minimal plan whose guaranteed error stays within E.
+// Costs are rounded up during discretization so the continuous constraint
+// is implied by the discrete one — the returned plan's PlanErrorBound never
+// exceeds E.
+func (a *Archive) PlanErrorBoundMode(bound float64) (Plan, error) {
+	if bound < a.h.eb {
+		return Plan{}, ErrBoundTooTight
+	}
+	budget := bound - a.h.eb
+	plan := a.fullPlan()
+	if a.h.prog == 0 || budget <= 0 {
+		return plan, nil
+	}
+	unit := budget / errorUnits
+
+	levelOpts := make([][]dpOption, a.h.prog)
+	for l := 1; l <= a.h.prog; l++ {
+		m := a.h.metaOf(l)
+		opts := make([]dpOption, m.usedPlanes+1)
+		var cum int64
+		for d := 0; d <= m.usedPlanes; d++ {
+			if d > 0 {
+				cum += int64(m.blockSizes[m.usedPlanes-d]) // LSB-most plane first
+			}
+			errCost := a.truncErr(l, m.usedPlanes-d)
+			c := 0
+			switch {
+			case errCost <= 0:
+			case errCost > budget:
+				c = errorUnits + 1 // infeasible on its own
+			default:
+				c = int(math.Ceil(errCost / unit))
+			}
+			opts[d] = dpOption{cost: c, value: cum, errF: errCost}
+		}
+		levelOpts[l-1] = opts
+	}
+
+	drops := maximizeValue(levelOpts, errorUnits)
+	for l := 1; l <= a.h.prog; l++ {
+		plan.Keep[l-1] = a.h.metaOf(l).usedPlanes - drops[l-1]
+	}
+	return plan, nil
+}
+
+// maximizeValue solves the layered knapsack: pick one option per layer,
+// maximizing total value subject to total cost <= budget units. dp[li][u]
+// holds the best value of layers 0..li-1 within cost u; monotonicity in u
+// is inherent to the recurrence. Returns the chosen option index per layer.
+func maximizeValue(layers [][]dpOption, budget int) []int {
+	const neg = int64(math.MinInt64)
+	nl := len(layers)
+	dp := make([][]int64, nl+1)
+	dp[0] = make([]int64, budget+1) // all zeros: empty assignment
+	for li, opts := range layers {
+		cur := make([]int64, budget+1)
+		prev := dp[li]
+		for u := 0; u <= budget; u++ {
+			best := neg
+			for _, op := range opts {
+				if op.cost > u {
+					continue
+				}
+				if v := prev[u-op.cost] + op.value; v > best {
+					best = v
+				}
+			}
+			cur[u] = best
+		}
+		dp[li+1] = cur
+	}
+	// Backtrack. Every layer always has the d=0 option with cost 0, so the
+	// final state (nl, budget) is reachable.
+	choice := make([]int, nl)
+	u := budget
+	for li := nl - 1; li >= 0; li-- {
+		target := dp[li+1][u]
+		for d, op := range layers[li] {
+			if op.cost <= u && dp[li][u-op.cost]+op.value == target {
+				choice[li] = d
+				u -= op.cost
+				break
+			}
+		}
+	}
+	return choice
+}
+
+// PlanBitrateMode computes the loading plan for a byte budget (paper §5.3):
+// minimize the guaranteed error subject to loading at most maxBytes,
+// including the mandatory header/anchor/outlier/coarse-level data. If the
+// budget does not even cover the mandatory data, the minimal plan is
+// returned (nothing less can be decoded).
+func (a *Archive) PlanBitrateMode(maxBytes int64) (Plan, error) {
+	minimal := a.minimalPlan()
+	mandatory := a.PlanBytes(minimal)
+	if a.h.prog == 0 {
+		return minimal, nil
+	}
+	remaining := maxBytes - mandatory
+	if remaining <= 0 {
+		return minimal, nil
+	}
+	// Quick exit: everything fits.
+	full := a.fullPlan()
+	if a.PlanBytes(full) <= maxBytes {
+		return full, nil
+	}
+	unit := float64(remaining) / sizeUnits
+
+	// One layer per progressive level; option = keep k planes, cost = bytes
+	// of the kept planes (rounded UP), value = negated truncation error so
+	// maximizeValue minimizes the error.
+	levelOpts := make([][]dpOption, a.h.prog)
+	for l := 1; l <= a.h.prog; l++ {
+		m := a.h.metaOf(l)
+		opts := make([]dpOption, m.usedPlanes+1)
+		var cum int64
+		for k := 0; k <= m.usedPlanes; k++ {
+			if k > 0 {
+				cum += int64(m.blockSizes[k-1]) // MSB-most plane first
+			}
+			c := 0
+			if cum > 0 {
+				if cum > remaining {
+					c = sizeUnits + 1
+				} else {
+					c = int(math.Ceil(float64(cum) / unit))
+				}
+			}
+			opts[k] = dpOption{cost: c, errF: a.truncErr(l, k)}
+		}
+		levelOpts[l-1] = opts
+	}
+
+	keeps := minimizeError(levelOpts, sizeUnits)
+	plan := minimal.clone()
+	for l := 1; l <= a.h.prog; l++ {
+		plan.Keep[l-1] = keeps[l-1]
+	}
+	return plan, nil
+}
+
+// minimizeError solves the layered knapsack minimizing the summed errF
+// subject to total cost <= budget units. Returns the chosen option index
+// (number of planes kept) per layer.
+func minimizeError(layers [][]dpOption, budget int) []int {
+	inf := math.Inf(1)
+	nl := len(layers)
+	dp := make([][]float64, nl+1)
+	dp[0] = make([]float64, budget+1)
+	for li, opts := range layers {
+		cur := make([]float64, budget+1)
+		prev := dp[li]
+		for u := 0; u <= budget; u++ {
+			best := inf
+			for _, op := range opts {
+				if op.cost > u {
+					continue
+				}
+				if v := prev[u-op.cost] + op.errF; v < best {
+					best = v
+				}
+			}
+			cur[u] = best
+		}
+		dp[li+1] = cur
+	}
+	choice := make([]int, nl)
+	u := budget
+	for li := nl - 1; li >= 0; li-- {
+		target := dp[li+1][u]
+		for k, op := range layers[li] {
+			if op.cost <= u && dp[li][u-op.cost]+op.errF == target {
+				choice[li] = k
+				u -= op.cost
+				break
+			}
+		}
+	}
+	return choice
+}

@@ -1,0 +1,191 @@
+// Package grid provides the N-dimensional array substrate used by every
+// compressor in this repository. A Grid is a dense row-major float64 array
+// with an explicit shape; it supports up to four dimensions, which covers
+// all datasets in the IPComp paper (they are all 3D) plus the 1D/2D cases
+// exercised by tests and examples.
+package grid
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MaxDims is the maximum number of dimensions supported by Grid.
+const MaxDims = 4
+
+// Shape describes the extent of a Grid along each dimension, outermost
+// (slowest-varying) first, matching C/row-major order.
+type Shape []int
+
+// Validate reports whether the shape has 1..MaxDims strictly positive extents.
+func (s Shape) Validate() error {
+	if len(s) == 0 {
+		return errors.New("grid: empty shape")
+	}
+	if len(s) > MaxDims {
+		return fmt.Errorf("grid: %d dimensions exceeds maximum %d", len(s), MaxDims)
+	}
+	for i, d := range s {
+		if d <= 0 {
+			return fmt.Errorf("grid: dimension %d has non-positive extent %d", i, d)
+		}
+	}
+	return nil
+}
+
+// Len returns the total number of elements, the product of all extents.
+func (s Shape) Len() int {
+	n := 1
+	for _, d := range s {
+		n *= d
+	}
+	return n
+}
+
+// Clone returns an independent copy of the shape.
+func (s Shape) Clone() Shape {
+	out := make(Shape, len(s))
+	copy(out, s)
+	return out
+}
+
+// Equal reports whether two shapes have identical rank and extents.
+func (s Shape) Equal(o Shape) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Strides returns the row-major element stride of each dimension.
+func (s Shape) Strides() []int {
+	st := make([]int, len(s))
+	acc := 1
+	for i := len(s) - 1; i >= 0; i-- {
+		st[i] = acc
+		acc *= s[i]
+	}
+	return st
+}
+
+func (s Shape) String() string {
+	out := ""
+	for i, d := range s {
+		if i > 0 {
+			out += "x"
+		}
+		out += fmt.Sprint(d)
+	}
+	return out
+}
+
+// Grid is a dense row-major N-dimensional array of float64 values.
+type Grid struct {
+	shape   Shape
+	strides []int
+	data    []float64
+}
+
+// New allocates a zero-filled grid with the given shape.
+func New(shape Shape) (*Grid, error) {
+	if err := shape.Validate(); err != nil {
+		return nil, err
+	}
+	return &Grid{
+		shape:   shape.Clone(),
+		strides: shape.Strides(),
+		data:    make([]float64, shape.Len()),
+	}, nil
+}
+
+// FromSlice wraps an existing flat slice as a grid without copying.
+// The slice length must equal shape.Len().
+func FromSlice(data []float64, shape Shape) (*Grid, error) {
+	if err := shape.Validate(); err != nil {
+		return nil, err
+	}
+	if len(data) != shape.Len() {
+		return nil, fmt.Errorf("grid: data length %d does not match shape %v (%d elements)",
+			len(data), shape, shape.Len())
+	}
+	return &Grid{shape: shape.Clone(), strides: shape.Strides(), data: data}, nil
+}
+
+// MustNew is New but panics on error; intended for tests and examples where
+// the shape is a compile-time constant.
+func MustNew(shape Shape) *Grid {
+	g, err := New(shape)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Shape returns the grid's shape. The caller must not mutate it.
+func (g *Grid) Shape() Shape { return g.shape }
+
+// NDims returns the number of dimensions.
+func (g *Grid) NDims() int { return len(g.shape) }
+
+// Len returns the total number of elements.
+func (g *Grid) Len() int { return len(g.data) }
+
+// Data returns the backing flat slice in row-major order.
+func (g *Grid) Data() []float64 { return g.data }
+
+// Strides returns the element stride of each dimension.
+func (g *Grid) Strides() []int { return g.strides }
+
+// Offset converts multi-dimensional indices to a flat offset. Indices must
+// have the same rank as the grid; bounds are checked only by the slice
+// access that follows.
+func (g *Grid) Offset(idx ...int) int {
+	off := 0
+	for i, x := range idx {
+		off += x * g.strides[i]
+	}
+	return off
+}
+
+// At returns the value at the given multi-dimensional index.
+func (g *Grid) At(idx ...int) float64 { return g.data[g.Offset(idx...)] }
+
+// Set stores a value at the given multi-dimensional index.
+func (g *Grid) Set(v float64, idx ...int) { g.data[g.Offset(idx...)] = v }
+
+// Clone returns a deep copy of the grid.
+func (g *Grid) Clone() *Grid {
+	data := make([]float64, len(g.data))
+	copy(data, g.data)
+	out, _ := FromSlice(data, g.shape)
+	return out
+}
+
+// Range returns the minimum and maximum values of the grid. For an empty
+// grid both returns are zero (cannot happen for validated shapes).
+func (g *Grid) Range() (lo, hi float64) {
+	if len(g.data) == 0 {
+		return 0, 0
+	}
+	lo, hi = g.data[0], g.data[0]
+	for _, v := range g.data[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// ValueRange returns hi-lo, the span used to derive relative error bounds.
+func (g *Grid) ValueRange() float64 {
+	lo, hi := g.Range()
+	return hi - lo
+}

@@ -1,0 +1,253 @@
+// Package interp implements the multi-level interpolation predictor that
+// IPComp inherits from SZ3 (paper §4.1, Fig 3). The input grid is split into
+// a hierarchy of levels: level l covers the points whose coordinates are all
+// multiples of the stride s = 2^(l-1) and at least one coordinate is an odd
+// multiple of s. Points with all coordinates multiple of 2^L are "anchors"
+// and seed the recursion.
+//
+// Within a level the predictor runs one pass per dimension: the pass along
+// dimension d predicts points whose coordinate along d is an odd multiple of
+// s from their 2 (linear) or 4 (cubic) neighbours at ±s and ±3s along d,
+// which are guaranteed to be already reconstructed. The visit order is fully
+// deterministic, so compression and decompression see identical predictions.
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// Kind selects the interpolation formula.
+type Kind uint8
+
+const (
+	// Linear predicts the midpoint average (x[-s]+x[+s])/2.
+	Linear Kind = iota
+	// Cubic predicts (-x[-3s]+9x[-s]+9x[+s]-x[+3s])/16 and falls back to
+	// linear near boundaries.
+	Cubic
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Linear:
+		return "linear"
+	case Cubic:
+		return "cubic"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Amplification returns the L∞ operator norm of one interpolation pass: the
+// sum of absolute coefficient values (paper Theorem 1: 1 for linear, 1.25
+// for cubic).
+func (k Kind) Amplification() float64 {
+	if k == Cubic {
+		return 1.25
+	}
+	return 1
+}
+
+// Decomposition precomputes the level structure for one grid shape.
+type Decomposition struct {
+	shape   grid.Shape
+	strides []int
+	levels  int // L: levels are 1..L, coarse levels have larger indices
+}
+
+// NewDecomposition builds the level structure. The number of levels is the
+// smallest L with 2^L >= max extent, so that every non-anchor point belongs
+// to exactly one level.
+func NewDecomposition(shape grid.Shape) (*Decomposition, error) {
+	if err := shape.Validate(); err != nil {
+		return nil, err
+	}
+	maxDim := 0
+	for _, d := range shape {
+		if d > maxDim {
+			maxDim = d
+		}
+	}
+	levels := 1
+	for 1<<uint(levels) < maxDim {
+		levels++
+	}
+	return &Decomposition{shape: shape.Clone(), strides: shape.Strides(), levels: levels}, nil
+}
+
+// NumLevels returns L, the number of interpolation levels.
+func (d *Decomposition) NumLevels() int { return d.levels }
+
+// Shape returns the grid shape the decomposition was built for.
+func (d *Decomposition) Shape() grid.Shape { return d.shape }
+
+// AnchorStride returns 2^L, the spacing of anchor points.
+func (d *Decomposition) AnchorStride() int { return 1 << uint(d.levels) }
+
+// Anchors returns the flat indices of anchor points in lexicographic order.
+func (d *Decomposition) Anchors() []int {
+	s := d.AnchorStride()
+	var out []int
+	d.iterate(coordSteps(d.shape, s), func(flat int) { out = append(out, flat) })
+	return out
+}
+
+// LevelCount returns the number of points belonging to level l (1-based).
+func (d *Decomposition) LevelCount(l int) int {
+	count := 0
+	d.VisitLevel(nil, l, Linear, func(idx int, pred float64) float64 {
+		count++
+		return 0
+	})
+	return count
+}
+
+// VisitFunc receives a target point's flat index and its interpolation
+// prediction and returns the value to store there (the reconstructed value).
+type VisitFunc func(idx int, pred float64) float64
+
+// VisitLevel runs all dimension passes of level l (stride 2^(l-1)) over data
+// in canonical order. When data is nil the predictions are reported as zero
+// and nothing is stored — used only for counting.
+func (d *Decomposition) VisitLevel(data []float64, l int, kind Kind, fn VisitFunc) {
+	s := 1 << uint(l-1)
+	nd := len(d.shape)
+	for dim := 0; dim < nd; dim++ {
+		d.visitPass(data, s, dim, kind, fn)
+	}
+}
+
+// visitPass predicts the points of one dimension pass: coordinate along dim
+// is an odd multiple of s, coordinates along earlier dimensions are
+// multiples of s, and along later dimensions multiples of 2s.
+func (d *Decomposition) visitPass(data []float64, s, dim int, kind Kind, fn VisitFunc) {
+	nd := len(d.shape)
+	steps := make([]coordStep, nd)
+	for j := 0; j < nd; j++ {
+		switch {
+		case j < dim:
+			steps[j] = coordStep{start: 0, step: s, limit: d.shape[j]}
+		case j == dim:
+			steps[j] = coordStep{start: s, step: 2 * s, limit: d.shape[j]}
+		default:
+			steps[j] = coordStep{start: 0, step: 2 * s, limit: d.shape[j]}
+		}
+	}
+	dimExtent := d.shape[dim]
+	dimStride := d.strides[dim]
+	d.iterateWithCoord(steps, dim, func(flat, c int) {
+		pred := 0.0
+		if data != nil {
+			pred = predict1D(data, flat, c, s, dimStride, dimExtent, kind)
+		}
+		v := fn(flat, pred)
+		if data != nil {
+			data[flat] = v
+		}
+	})
+}
+
+// predict1D computes the interpolation prediction for the point at flat
+// index with coordinate c along the active dimension. c-s always exists
+// (c >= s by construction); the rest depends on the boundary.
+func predict1D(data []float64, flat, c, s, stride, extent int, kind Kind) float64 {
+	if c+s >= extent {
+		// No right neighbour: copy the left one.
+		return data[flat-s*stride]
+	}
+	if kind == Cubic && c-3*s >= 0 && c+3*s < extent {
+		return (-data[flat-3*s*stride] + 9*data[flat-s*stride] +
+			9*data[flat+s*stride] - data[flat+3*s*stride]) / 16
+	}
+	return 0.5 * (data[flat-s*stride] + data[flat+s*stride])
+}
+
+type coordStep struct {
+	start, step, limit int
+}
+
+func coordSteps(shape grid.Shape, step int) []coordStep {
+	steps := make([]coordStep, len(shape))
+	for i, d := range shape {
+		steps[i] = coordStep{start: 0, step: step, limit: d}
+	}
+	return steps
+}
+
+// iterate walks the Cartesian product of the step ranges in lexicographic
+// order, reporting flat indices.
+func (d *Decomposition) iterate(steps []coordStep, fn func(flat int)) {
+	d.iterateWithCoord(steps, -1, func(flat, _ int) { fn(flat) })
+}
+
+// iterateWithCoord additionally reports the coordinate along watchDim
+// (or 0 when watchDim < 0). Supports 1..4 dimensions with explicit loops:
+// the rank is small and fixed, and explicit loops keep the per-point cost
+// down on the compression hot path.
+func (d *Decomposition) iterateWithCoord(steps []coordStep, watchDim int, fn func(flat, c int)) {
+	st := d.strides
+	switch len(steps) {
+	case 1:
+		s0 := steps[0]
+		for c0 := s0.start; c0 < s0.limit; c0 += s0.step {
+			fn(c0*st[0], c0)
+		}
+	case 2:
+		s0, s1 := steps[0], steps[1]
+		for c0 := s0.start; c0 < s0.limit; c0 += s0.step {
+			base0 := c0 * st[0]
+			for c1 := s1.start; c1 < s1.limit; c1 += s1.step {
+				c := c0
+				if watchDim == 1 {
+					c = c1
+				}
+				fn(base0+c1*st[1], c)
+			}
+		}
+	case 3:
+		s0, s1, s2 := steps[0], steps[1], steps[2]
+		for c0 := s0.start; c0 < s0.limit; c0 += s0.step {
+			base0 := c0 * st[0]
+			for c1 := s1.start; c1 < s1.limit; c1 += s1.step {
+				base1 := base0 + c1*st[1]
+				for c2 := s2.start; c2 < s2.limit; c2 += s2.step {
+					c := c0
+					switch watchDim {
+					case 1:
+						c = c1
+					case 2:
+						c = c2
+					}
+					fn(base1+c2*st[2], c)
+				}
+			}
+		}
+	case 4:
+		s0, s1, s2, s3 := steps[0], steps[1], steps[2], steps[3]
+		for c0 := s0.start; c0 < s0.limit; c0 += s0.step {
+			base0 := c0 * st[0]
+			for c1 := s1.start; c1 < s1.limit; c1 += s1.step {
+				base1 := base0 + c1*st[1]
+				for c2 := s2.start; c2 < s2.limit; c2 += s2.step {
+					base2 := base1 + c2*st[2]
+					for c3 := s3.start; c3 < s3.limit; c3 += s3.step {
+						c := c0
+						switch watchDim {
+						case 1:
+							c = c1
+						case 2:
+							c = c2
+						case 3:
+							c = c3
+						}
+						fn(base2+c3*st[3], c)
+					}
+				}
+			}
+		}
+	default:
+		panic("interp: unsupported rank")
+	}
+}

@@ -1,0 +1,17 @@
+// Package lossy defines the interface every error-bounded lossy compressor
+// in this repository implements, so the residual-progressive wrappers and
+// the experiment harness can treat IPComp and the four baselines uniformly.
+package lossy
+
+import "repro/internal/grid"
+
+// Codec is a one-shot error-bounded lossy compressor.
+type Codec interface {
+	// Name identifies the codec in experiment output ("SZ3", "ZFP", ...).
+	Name() string
+	// Compress encodes g such that decompression reconstructs every value
+	// within the absolute error bound eb.
+	Compress(g *grid.Grid, eb float64) ([]byte, error)
+	// Decompress reconstructs a grid of the given shape from blob.
+	Decompress(blob []byte, shape grid.Shape) (*grid.Grid, error)
+}

@@ -1,0 +1,152 @@
+package mgard
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func field(shape grid.Shape) *grid.Grid {
+	g := grid.MustNew(shape)
+	data := g.Data()
+	strides := shape.Strides()
+	for i := range data {
+		v := 0.0
+		rem := i
+		for d := 0; d < len(shape); d++ {
+			c := float64(rem/strides[d]) / float64(shape[d])
+			rem %= strides[d]
+			v += math.Cos(3*math.Pi*c) + 0.2*math.Sin(11*c+1)
+		}
+		data[i] = v
+	}
+	return g
+}
+
+func maxErr(a, b []float64) float64 {
+	worst := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	c := New()
+	for _, shape := range []grid.Shape{{100}, {24, 26}, {14, 15, 16}} {
+		for _, eb := range []float64{1e-3, 1e-6} {
+			g := field(shape)
+			blob, err := c.Compress(g, eb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec, err := c.Decompress(blob, shape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := maxErr(g.Data(), rec.Data()); got > eb {
+				t.Errorf("%v eb=%g: error %g", shape, eb, got)
+			}
+		}
+	}
+}
+
+// TestProgressiveRetrievalBounds is PMGARD's core property: retrieval at
+// any bound above the archive bound stays within it while loading less.
+func TestProgressiveRetrievalBounds(t *testing.T) {
+	g := field(grid.Shape{32, 30, 20})
+	eb := 1e-7
+	a, err := CompressProgressive(g, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevLoaded := int64(1 << 62)
+	for _, factor := range []float64{1, 16, 1024, 65536} {
+		bound := eb * factor
+		ret, err := a.RetrieveErrorBound(bound)
+		if err != nil {
+			t.Fatalf("factor %v: %v", factor, err)
+		}
+		if got := maxErr(g.Data(), ret.Data.Data()); got > bound {
+			t.Errorf("factor %v: error %g over bound", factor, got)
+		}
+		if ret.Bound > bound {
+			t.Errorf("factor %v: estimated bound %g over requested %g", factor, ret.Bound, bound)
+		}
+		if ret.LoadedBytes > prevLoaded {
+			t.Errorf("factor %v: loaded %d, more than tighter bound %d",
+				factor, ret.LoadedBytes, prevLoaded)
+		}
+		prevLoaded = ret.LoadedBytes
+	}
+	// The loosest retrieval must be genuinely cheaper.
+	tight, _ := a.RetrieveErrorBound(eb)
+	loose, _ := a.RetrieveErrorBound(eb * 65536)
+	if loose.LoadedBytes >= tight.LoadedBytes {
+		t.Errorf("loose load %d >= tight %d", loose.LoadedBytes, tight.LoadedBytes)
+	}
+}
+
+func TestRetrievalRejectsTighterBound(t *testing.T) {
+	g := field(grid.Shape{16, 16})
+	a, err := CompressProgressive(g, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.RetrieveErrorBound(1e-5); err == nil {
+		t.Error("tighter-than-archive bound must error")
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	g := field(grid.Shape{20, 18})
+	eb := 1e-5
+	a, err := CompressProgressive(g, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Unmarshal(a.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, err := b.RetrieveErrorBound(eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := maxErr(g.Data(), ret.Data.Data()); got > eb {
+		t.Errorf("round-tripped archive error %g", got)
+	}
+	if _, err := Unmarshal([]byte{1, 2, 3}); err == nil {
+		t.Error("garbage must fail")
+	}
+}
+
+func TestOutlierPath(t *testing.T) {
+	g := field(grid.Shape{24, 24})
+	g.Data()[50] = 1e16
+	eb := 1e-9
+	a, err := CompressProgressive(g, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, err := a.RetrieveErrorBound(eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := maxErr(g.Data(), ret.Data.Data()); got > eb {
+		t.Errorf("outlier dataset error %g", got)
+	}
+}
+
+func TestRejectsBadBound(t *testing.T) {
+	g := field(grid.Shape{8, 8})
+	if _, err := CompressProgressive(g, 0); err == nil {
+		t.Error("zero bound must error")
+	}
+	if _, err := CompressProgressive(g, math.Inf(1)); err == nil {
+		t.Error("inf bound must error")
+	}
+}

@@ -1,0 +1,76 @@
+// Package quant implements the linear-scale error-bounded quantizer shared by
+// every predictor-based compressor in this repository (IPComp, SZ3-lite,
+// MGARD-lite). A residual y is mapped to the integer index
+//
+//	k = round(y / (2·eb))
+//
+// so that the dequantized value k·2eb differs from y by at most eb, the
+// user's point-wise error bound. Residuals whose index would leave the safe
+// negabinary window escape through the outlier path: the caller stores the
+// exact original value and the index is recorded as zero.
+package quant
+
+import (
+	"math"
+
+	"repro/internal/nb"
+)
+
+// Quantizer holds the precomputed step sizes for one error bound.
+type Quantizer struct {
+	eb      float64 // maximum allowed point-wise error
+	step    float64 // 2·eb, the quantization bin width
+	invStep float64 // 1/step, multiplication is cheaper than division
+}
+
+// New returns a quantizer for the given absolute error bound. eb must be a
+// positive finite value.
+func New(eb float64) Quantizer {
+	step := 2 * eb
+	return Quantizer{eb: eb, step: step, invStep: 1 / step}
+}
+
+// ErrorBound returns the bound the quantizer was built with.
+func (q Quantizer) ErrorBound() float64 { return q.eb }
+
+// Step returns the bin width 2·eb.
+func (q Quantizer) Step() float64 { return q.step }
+
+// Quantize maps a residual to its index. ok is false when the residual is
+// not representable (index outside the safe window, or non-finite input);
+// the caller must then store the original value losslessly.
+func (q Quantizer) Quantize(y float64) (k int32, ok bool) {
+	if math.IsNaN(y) || math.IsInf(y, 0) {
+		return 0, false
+	}
+	f := y * q.invStep
+	if f > nb.MaxIndex || f < -nb.MaxIndex {
+		return 0, false
+	}
+	return int32(math.Round(f)), true
+}
+
+// Dequantize maps an index back to the reconstructed residual.
+func (q Quantizer) Dequantize(k int32) float64 {
+	return float64(k) * q.step
+}
+
+// QuantizeReconstruct quantizes a residual against its prediction and
+// returns both the index and the reconstructed (lossy) value pred + k·step.
+// Compressors must continue predicting from the reconstructed value, not the
+// original, so that decompression sees identical predictions. ok is false on
+// outlier escape, in which case recon equals the original value exactly.
+func (q Quantizer) QuantizeReconstruct(orig, pred float64) (k int32, recon float64, ok bool) {
+	k, ok = q.Quantize(orig - pred)
+	if !ok {
+		return 0, orig, false
+	}
+	recon = pred + q.Dequantize(k)
+	// Floating-point rounding in pred + k*step can nudge the result just
+	// outside the bound for extreme magnitudes; fall back to the outlier
+	// path in that case to keep the guarantee unconditional.
+	if d := recon - orig; d > q.eb || d < -q.eb {
+		return 0, orig, false
+	}
+	return k, recon, true
+}

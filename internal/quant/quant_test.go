@@ -1,0 +1,86 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantizeDequantizeBound(t *testing.T) {
+	for _, eb := range []float64{1e-3, 1e-6, 0.5} {
+		q := New(eb)
+		f := func(y float64) bool {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				return true
+			}
+			y = math.Mod(y, 1e6) // keep inside the index window
+			k, ok := q.Quantize(y)
+			if !ok {
+				return true // escape path; caller stores exactly
+			}
+			return math.Abs(q.Dequantize(k)-y) <= eb
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("eb=%v: %v", eb, err)
+		}
+	}
+}
+
+func TestQuantizeReconstructBound(t *testing.T) {
+	q := New(1e-4)
+	f := func(orig, pred float64) bool {
+		if math.IsNaN(orig) || math.IsInf(orig, 0) || math.IsNaN(pred) || math.IsInf(pred, 0) {
+			return true
+		}
+		orig = math.Mod(orig, 1e4)
+		pred = math.Mod(pred, 1e4)
+		k, recon, ok := q.QuantizeReconstruct(orig, pred)
+		if !ok {
+			return recon == orig // escape must hand back the exact value
+		}
+		_ = k
+		return math.Abs(recon-orig) <= q.ErrorBound()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeOutlierEscape(t *testing.T) {
+	q := New(1e-12)
+	// Residual so large its index cannot fit: must escape, not wrap.
+	if _, ok := q.Quantize(1e9); ok {
+		t.Error("expected outlier escape for huge residual")
+	}
+	if _, ok := q.Quantize(math.NaN()); ok {
+		t.Error("expected escape for NaN")
+	}
+	if _, ok := q.Quantize(math.Inf(1)); ok {
+		t.Error("expected escape for +Inf")
+	}
+	k, recon, ok := q.QuantizeReconstruct(1e9, 0)
+	if ok || recon != 1e9 || k != 0 {
+		t.Errorf("outlier escape: k=%d recon=%v ok=%v", k, recon, ok)
+	}
+}
+
+func TestQuantizeExactZero(t *testing.T) {
+	q := New(0.01)
+	k, ok := q.Quantize(0)
+	if !ok || k != 0 {
+		t.Errorf("Quantize(0) = %d, %v", k, ok)
+	}
+	if q.Dequantize(0) != 0 {
+		t.Error("Dequantize(0) must be 0")
+	}
+}
+
+func TestStepAndBoundAccessors(t *testing.T) {
+	q := New(0.25)
+	if q.ErrorBound() != 0.25 {
+		t.Errorf("ErrorBound = %v", q.ErrorBound())
+	}
+	if q.Step() != 0.5 {
+		t.Errorf("Step = %v", q.Step())
+	}
+}

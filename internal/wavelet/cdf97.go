@@ -1,0 +1,259 @@
+// Package wavelet implements the CDF 9/7 biorthogonal wavelet via the
+// standard lifting scheme — the transform underlying SPERR (and JPEG 2000's
+// lossy path). Separable N-dimensional multi-level transforms are built
+// from the 1D lifting with symmetric boundary extension.
+package wavelet
+
+import "repro/internal/grid"
+
+// CDF 9/7 lifting coefficients (Daubechies & Sweldens 1998).
+const (
+	alpha = -1.586134342059924
+	beta  = -0.052980118572961
+	gamma = 0.882911075530934
+	delta = 0.443506852043971
+	kappa = 1.230174104914001
+)
+
+// fwd1D transforms x in place and then deinterleaves: the first ceil(n/2)
+// entries become approximation (low-pass) coefficients, the rest detail.
+// tmp must have len >= n.
+func fwd1D(x, tmp []float64) {
+	n := len(x)
+	if n < 2 {
+		return
+	}
+	// Lifting with symmetric (mirror) extension at both ends: a missing
+	// right neighbour x[i+1] is mirrored to x[i-1], and the even update at
+	// i = 0 mirrors x[-1] to x[1].
+	// Step 1: predict odd with alpha.
+	for i := 1; i < n; i += 2 {
+		r := x[i-1]
+		if i+1 < n {
+			r = x[i+1]
+		}
+		x[i] += alpha * (x[i-1] + r)
+	}
+	// Step 2: update even with beta.
+	for i := 2; i < n; i += 2 {
+		r := x[i-1]
+		if i+1 < n {
+			r = x[i+1]
+		}
+		x[i] += beta * (x[i-1] + r)
+	}
+	x[0] += beta * 2 * x[1]
+	// Step 3: predict odd with gamma.
+	for i := 1; i < n; i += 2 {
+		r := x[i-1]
+		if i+1 < n {
+			r = x[i+1]
+		}
+		x[i] += gamma * (x[i-1] + r)
+	}
+	// Step 4: update even with delta.
+	for i := 2; i < n; i += 2 {
+		r := x[i-1]
+		if i+1 < n {
+			r = x[i+1]
+		}
+		x[i] += delta * (x[i-1] + r)
+	}
+	x[0] += delta * 2 * x[1]
+	// Scale.
+	for i := 0; i < n; i += 2 {
+		x[i] *= kappa
+	}
+	for i := 1; i < n; i += 2 {
+		x[i] /= kappa
+	}
+	// Deinterleave: approx first, detail after.
+	na := (n + 1) / 2
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			tmp[i/2] = x[i]
+		} else {
+			tmp[na+i/2] = x[i]
+		}
+	}
+	copy(x, tmp[:n])
+}
+
+// inv1D inverts fwd1D.
+func inv1D(x, tmp []float64) {
+	n := len(x)
+	if n < 2 {
+		return
+	}
+	// Interleave back.
+	na := (n + 1) / 2
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			tmp[i] = x[i/2]
+		} else {
+			tmp[i] = x[na+i/2]
+		}
+	}
+	copy(x, tmp[:n])
+	// Unscale.
+	for i := 0; i < n; i += 2 {
+		x[i] /= kappa
+	}
+	for i := 1; i < n; i += 2 {
+		x[i] *= kappa
+	}
+	// Undo step 4.
+	for i := 2; i < n; i += 2 {
+		r := x[i-1]
+		if i+1 < n {
+			r = x[i+1]
+		}
+		x[i] -= delta * (x[i-1] + r)
+	}
+	x[0] -= delta * 2 * x[1]
+	// Undo step 3.
+	for i := 1; i < n; i += 2 {
+		r := x[i-1]
+		if i+1 < n {
+			r = x[i+1]
+		}
+		x[i] -= gamma * (x[i-1] + r)
+	}
+	// Undo step 2.
+	for i := 2; i < n; i += 2 {
+		r := x[i-1]
+		if i+1 < n {
+			r = x[i+1]
+		}
+		x[i] -= beta * (x[i-1] + r)
+	}
+	x[0] -= beta * 2 * x[1]
+	// Undo step 1.
+	for i := 1; i < n; i += 2 {
+		r := x[i-1]
+		if i+1 < n {
+			r = x[i+1]
+		}
+		x[i] -= alpha * (x[i-1] + r)
+	}
+}
+
+// Transform applies `levels` rounds of the separable CDF 9/7 transform to
+// the grid in place. Each round transforms the current low-pass region
+// (the leading ceil(extent/2^round) samples per dimension) along every
+// dimension.
+func Transform(g *grid.Grid, levels int) {
+	apply(g, levels, fwd1D, false)
+}
+
+// Inverse undoes Transform with the same level count.
+func Inverse(g *grid.Grid, levels int) {
+	apply(g, levels, inv1D, true)
+}
+
+// MaxLevels returns a sensible level count: halve until the smallest
+// extent would drop below 8 samples, capped at 4 (SPERR's default region).
+func MaxLevels(shape grid.Shape) int {
+	minExt := shape[0]
+	for _, d := range shape {
+		if d < minExt {
+			minExt = d
+		}
+	}
+	levels := 0
+	for minExt >= 8 && levels < 4 {
+		minExt = (minExt + 1) / 2
+		levels++
+	}
+	if levels == 0 {
+		levels = 1
+	}
+	return levels
+}
+
+func apply(g *grid.Grid, levels int, f func(x, tmp []float64), inverse bool) {
+	shape := g.Shape()
+	nd := len(shape)
+	maxExt := 0
+	for _, d := range shape {
+		if d > maxExt {
+			maxExt = d
+		}
+	}
+	tmp := make([]float64, maxExt)
+	line := make([]float64, maxExt)
+
+	// Extents of the low-pass region at each round.
+	ext := make([][]int, levels+1)
+	ext[0] = append([]int(nil), shape...)
+	for r := 1; r <= levels; r++ {
+		ext[r] = make([]int, nd)
+		for d := 0; d < nd; d++ {
+			ext[r][d] = (ext[r-1][d] + 1) / 2
+		}
+	}
+
+	rounds := make([]int, 0, levels)
+	if inverse {
+		for r := levels - 1; r >= 0; r-- {
+			rounds = append(rounds, r)
+		}
+	} else {
+		for r := 0; r < levels; r++ {
+			rounds = append(rounds, r)
+		}
+	}
+	data := g.Data()
+	strides := shape.Strides()
+	for _, r := range rounds {
+		region := ext[r]
+		dims := make([]int, nd)
+		if inverse {
+			for d := 0; d < nd; d++ {
+				dims[d] = nd - 1 - d
+			}
+		} else {
+			for d := 0; d < nd; d++ {
+				dims[d] = d
+			}
+		}
+		for _, d := range dims {
+			if region[d] < 2 {
+				continue
+			}
+			// Iterate every line along dimension d within the region.
+			forEachLine(region, d, strides, func(base int) {
+				s := strides[d]
+				n := region[d]
+				for i := 0; i < n; i++ {
+					line[i] = data[base+i*s]
+				}
+				f(line[:n], tmp)
+				for i := 0; i < n; i++ {
+					data[base+i*s] = line[i]
+				}
+			})
+		}
+	}
+}
+
+// forEachLine visits the base offset of every line along dim within the
+// region extents.
+func forEachLine(region []int, dim int, strides []int, fn func(base int)) {
+	nd := len(region)
+	var rec func(d int, off int)
+	rec = func(d int, off int) {
+		if d == nd {
+			fn(off)
+			return
+		}
+		if d == dim {
+			rec(d+1, off)
+			return
+		}
+		for i := 0; i < region[d]; i++ {
+			rec(d+1, off+i*strides[d])
+		}
+	}
+	rec(0, 0)
+}

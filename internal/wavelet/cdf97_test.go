@@ -1,0 +1,106 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestPerfectReconstruction1D(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 3, 4, 5, 8, 9, 16, 17, 100, 101} {
+		x := make([]float64, n)
+		orig := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+			orig[i] = x[i]
+		}
+		tmp := make([]float64, n)
+		fwd1D(x, tmp)
+		inv1D(x, tmp)
+		for i := range x {
+			if math.Abs(x[i]-orig[i]) > 1e-10 {
+				t.Fatalf("n=%d: element %d: %v vs %v", n, i, x[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestPerfectReconstructionND(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	shapes := []grid.Shape{{64}, {33, 17}, {16, 12, 9}, {8, 9, 10, 3}}
+	for _, shape := range shapes {
+		g := grid.MustNew(shape)
+		orig := make([]float64, g.Len())
+		for i := range orig {
+			orig[i] = r.NormFloat64()
+			g.Data()[i] = orig[i]
+		}
+		levels := MaxLevels(shape)
+		Transform(g, levels)
+		Inverse(g, levels)
+		for i := range orig {
+			if math.Abs(g.Data()[i]-orig[i]) > 1e-9 {
+				t.Fatalf("shape %v: element %d: %v vs %v", shape, i, g.Data()[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestEnergyCompactionOnSmoothData(t *testing.T) {
+	// A smooth field must concentrate energy in the low-pass corner: the
+	// detail coefficients should be tiny relative to the signal.
+	shape := grid.Shape{64, 64}
+	g := grid.MustNew(shape)
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 64; j++ {
+			g.Set(math.Sin(float64(i)/10)+math.Cos(float64(j)/13), i, j)
+		}
+	}
+	levels := 3
+	Transform(g, levels)
+	// Low-pass corner after 3 rounds: 8x8.
+	var lowE, highE float64
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 64; j++ {
+			v := g.At(i, j)
+			if i < 8 && j < 8 {
+				lowE += v * v
+			} else {
+				highE += v * v
+			}
+		}
+	}
+	if lowE < 100*highE {
+		t.Errorf("poor energy compaction: low=%g high=%g", lowE, highE)
+	}
+}
+
+func TestMaxLevels(t *testing.T) {
+	if l := MaxLevels(grid.Shape{256, 256, 256}); l != 4 {
+		t.Errorf("256^3 levels = %d, want 4", l)
+	}
+	if l := MaxLevels(grid.Shape{16}); l != 2 {
+		t.Errorf("16 levels = %d, want 2", l)
+	}
+	if l := MaxLevels(grid.Shape{4, 4}); l != 1 {
+		t.Errorf("4x4 levels = %d (floor is 1)", l)
+	}
+}
+
+func TestTinyInputsAreNoOps(t *testing.T) {
+	x := []float64{3.5}
+	fwd1D(x, make([]float64, 1))
+	if x[0] != 3.5 {
+		t.Error("length-1 transform must be identity")
+	}
+	g := grid.MustNew(grid.Shape{1, 1})
+	g.Set(2, 0, 0)
+	Transform(g, 2)
+	Inverse(g, 2)
+	if g.At(0, 0) != 2 {
+		t.Error("1x1 grid transform must be identity")
+	}
+}

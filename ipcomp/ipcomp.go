@@ -1,0 +1,220 @@
+// Package ipcomp is the public API of the IPComp reproduction: an
+// interpolation-based progressive lossy compressor for scientific
+// floating-point data (Yang et al., "IPComp: Interpolation Based Progressive
+// Lossy Compression for Scientific Applications", HPDC 2025).
+//
+// # Quick start
+//
+//	blob, _ := ipcomp.Compress(data, []int{256, 384, 384}, ipcomp.Options{
+//		ErrorBound: 1e-6,
+//	})
+//	arch, _ := ipcomp.Open(blob)
+//
+//	// Coarse first: guarantee an L∞ error of 1e-2 while loading the
+//	// fewest possible bytes.
+//	res, _ := arch.RetrieveErrorBound(1e-2)
+//	coarse := res.Data()
+//
+//	// Later: refine in place down to 1e-4 by loading only additional
+//	// bitplanes (no re-decoding of what is already in memory).
+//	_ = res.RefineErrorBound(1e-4)
+//
+// Compression guarantees |x[i] - x̂[i]| <= ErrorBound for every point at
+// full fidelity; every progressive retrieval guarantees the (coarser) bound
+// it was asked for.
+package ipcomp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/interp"
+)
+
+// Interpolation selects the prediction formula. The zero value picks the
+// paper's default (cubic spline).
+type Interpolation int
+
+const (
+	// DefaultInterpolation is cubic, the paper's default.
+	DefaultInterpolation Interpolation = iota
+	// Linear interpolation: midpoint average, amplification factor 1.
+	Linear
+	// Cubic interpolation: 4-point spline, amplification factor 1.25.
+	Cubic
+)
+
+func (k Interpolation) kind() interp.Kind {
+	if k == Linear {
+		return interp.Linear
+	}
+	return interp.Cubic
+}
+
+// BoundMode selects the optimizer's error accounting; see core.BoundMode.
+type BoundMode = core.BoundMode
+
+const (
+	// SafeBound (default) makes progressive error bounds hard guarantees.
+	SafeBound = core.SafeBound
+	// PaperBound uses the paper's Eq. (5) accounting, loading less data.
+	PaperBound = core.PaperBound
+)
+
+// Options configures Compress.
+type Options struct {
+	// ErrorBound is the absolute point-wise error bound (required, > 0).
+	ErrorBound float64
+	// Relative, when true, interprets ErrorBound as a fraction of the data
+	// value range (max-min), the convention used throughout the paper's
+	// evaluation (e.g. eb = 1e-6 means 1e-6 x range).
+	Relative bool
+	// Interpolation defaults to Cubic (DefaultInterpolation).
+	Interpolation Interpolation
+	// ProgressiveThreshold is the minimum level size (elements) that is
+	// bitplane-progressive; 0 means the library default.
+	ProgressiveThreshold int
+}
+
+// Compress encodes a row-major float64 array of the given shape into an
+// IPComp archive.
+func Compress(data []float64, shape []int, opt Options) ([]byte, error) {
+	g, err := grid.FromSlice(data, grid.Shape(shape))
+	if err != nil {
+		return nil, err
+	}
+	eb := opt.ErrorBound
+	if opt.Relative {
+		r := g.ValueRange()
+		if r == 0 {
+			r = 1 // constant field: any positive bound works
+		}
+		eb *= r
+	}
+	return core.Compress(g, core.Options{
+		ErrorBound:           eb,
+		Interpolation:        opt.Interpolation.kind(),
+		ProgressiveThreshold: opt.ProgressiveThreshold,
+	})
+}
+
+// Decompress fully reconstructs an archive, returning the data and shape.
+func Decompress(blob []byte) ([]float64, []int, error) {
+	g, err := core.Decompress(blob)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g.Data(), g.Shape(), nil
+}
+
+// Archive provides progressive access to a compressed dataset.
+type Archive struct {
+	a *core.Archive
+}
+
+// Open reads an in-memory archive. Only the header is parsed eagerly.
+func Open(blob []byte) (*Archive, error) {
+	a, err := core.NewArchive(blob)
+	if err != nil {
+		return nil, err
+	}
+	return &Archive{a: a}, nil
+}
+
+// OpenReaderAt opens an archive backed by an io.ReaderAt (such as an
+// *os.File) of the given size. Retrievals read only the byte ranges their
+// loading plans select — true partial I/O.
+func OpenReaderAt(r io.ReaderAt, size int64) (*Archive, error) {
+	a, err := core.NewArchiveReaderAt(r, size)
+	if err != nil {
+		return nil, err
+	}
+	return &Archive{a: a}, nil
+}
+
+// Shape returns the dataset's shape.
+func (ar *Archive) Shape() []int { return ar.a.Shape() }
+
+// NumElements returns the total element count.
+func (ar *Archive) NumElements() int { return grid.Shape(ar.a.Shape()).Len() }
+
+// ErrorBound returns the compression-time absolute error bound.
+func (ar *Archive) ErrorBound() float64 { return ar.a.ErrorBound() }
+
+// CompressedSize returns the total archive size in bytes.
+func (ar *Archive) CompressedSize() int64 { return ar.a.TotalSize() }
+
+// SetBoundMode switches between SafeBound and PaperBound accounting.
+func (ar *Archive) SetBoundMode(m BoundMode) { ar.a.SetBoundMode(m) }
+
+// RetrieveAll reconstructs at full fidelity.
+func (ar *Archive) RetrieveAll() (*Result, error) {
+	res, err := ar.a.RetrieveAll()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{r: res}, nil
+}
+
+// RetrieveErrorBound reconstructs with the byte-minimal loading plan whose
+// guaranteed L∞ error is at most the given absolute bound. The bound must
+// be >= ErrorBound().
+func (ar *Archive) RetrieveErrorBound(bound float64) (*Result, error) {
+	res, err := ar.a.RetrieveErrorBound(bound)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{r: res}, nil
+}
+
+// RetrieveBitrate reconstructs with the most accurate plan loading at most
+// bitsPerValue bits per element (paper's fixed-rate mode).
+func (ar *Archive) RetrieveBitrate(bitsPerValue float64) (*Result, error) {
+	res, err := ar.a.RetrieveBitrate(bitsPerValue)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{r: res}, nil
+}
+
+// Result is a progressive reconstruction that can be refined in place.
+type Result struct {
+	r *core.Result
+}
+
+// Data returns the reconstructed values (shared slice: refinement mutates
+// it in place).
+func (res *Result) Data() []float64 { return res.r.Data() }
+
+// LoadedBytes reports the archive bytes read so far, header included.
+func (res *Result) LoadedBytes() int64 { return res.r.LoadedBytes() }
+
+// Bitrate reports loaded bits per value.
+func (res *Result) Bitrate() float64 { return res.r.Bitrate() }
+
+// GuaranteedError returns the L∞ bound guaranteed by the data loaded so far.
+func (res *Result) GuaranteedError() float64 { return res.r.GuaranteedError() }
+
+// RefineErrorBound loads the additional bitplanes needed to guarantee the
+// tighter bound and updates the reconstruction in a single incremental pass.
+func (res *Result) RefineErrorBound(bound float64) error {
+	return res.r.RefineErrorBound(bound)
+}
+
+// RefineBitrate refines up to a total loaded-bitrate budget. Budgets below
+// what has already been loaded are no-ops: progressive retrieval never
+// unloads data.
+func (res *Result) RefineBitrate(bitsPerValue float64) error {
+	return res.r.RefineBitrate(bitsPerValue)
+}
+
+// RefineAll loads everything that remains, reaching full fidelity.
+func (res *Result) RefineAll() error { return res.r.RefineAll() }
+
+// String summarizes the result for logs.
+func (res *Result) String() string {
+	return fmt.Sprintf("ipcomp.Result{loaded=%dB bitrate=%.3f bound=%.3g}",
+		res.LoadedBytes(), res.Bitrate(), res.GuaranteedError())
+}
