@@ -17,6 +17,7 @@
 package repro
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -385,6 +386,132 @@ func BenchmarkRefinementVsFresh(b *testing.B) {
 			}
 		}
 	})
+}
+
+// ---- chunked store: tiled parallel compression + ROI retrieval ----
+
+func storeField(b *testing.B, shape []int) *grid.Grid {
+	b.Helper()
+	g, err := datagen.GenerateShape("Density", grid.Shape(shape))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkStorePack contrasts tiled parallel compression ("chunked",
+// 64³ tiles fanned out across cores) against compressing the same ≥128³
+// grid as one archive ("single"): the chunked MB/s must win on any
+// multi-core machine.
+func BenchmarkStorePack(b *testing.B) {
+	g := storeField(b, []int{128, 128, 128})
+	eb := 1e-6 * g.ValueRange()
+	for _, cfg := range []struct {
+		name  string
+		chunk []int
+	}{
+		{"single", []int{128, 128, 128}},
+		{"chunked", []int{64, 64, 64}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.SetBytes(int64(g.Len() * 8))
+			var size int64
+			for i := 0; i < b.N; i++ {
+				var buf bytes.Buffer
+				sw, err := ipcomp.NewStoreWriter(&buf)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sw.Add("field", g.Data(), g.Shape(), ipcomp.StoreOptions{
+					ErrorBound: eb, ChunkShape: cfg.chunk,
+				}); err != nil {
+					b.Fatal(err)
+				}
+				if err := sw.Close(); err != nil {
+					b.Fatal(err)
+				}
+				size = int64(buf.Len())
+			}
+			b.ReportMetric(metrics.CompressionRatio(int64(g.Len()*8), size), "CR")
+		})
+	}
+}
+
+func storeBlob(b *testing.B, g *grid.Grid, eb float64) []byte {
+	b.Helper()
+	var buf bytes.Buffer
+	sw, err := ipcomp.NewStoreWriter(&buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sw.Add("field", g.Data(), g.Shape(), ipcomp.StoreOptions{ErrorBound: eb}); err != nil {
+		b.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkStoreRegion measures a ~10%-volume ROI query against a 128³
+// container, cold (fresh store per query, every tile re-decoded) and warm
+// (LRU chunk cache reuses decodes across queries).
+func BenchmarkStoreRegion(b *testing.B) {
+	g := storeField(b, []int{128, 128, 128})
+	eb := 1e-6 * g.ValueRange()
+	blob := storeBlob(b, g, eb)
+	lo, hi := []int{0, 0, 0}, []int{64, 64, 48}
+	bound := 256 * eb
+	b.Run("cold", func(b *testing.B) {
+		b.SetBytes(int64(64 * 64 * 48 * 8))
+		for i := 0; i < b.N; i++ {
+			s, err := ipcomp.OpenStore(bytes.NewReader(blob), int64(len(blob)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.SetCacheBytes(0)
+			if _, err := s.RetrieveRegion("field", lo, hi, bound); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		s, err := ipcomp.OpenStore(bytes.NewReader(blob), int64(len(blob)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.RetrieveRegion("field", lo, hi, bound); err != nil {
+			b.Fatal(err) // prime the cache
+		}
+		b.SetBytes(int64(64 * 64 * 48 * 8))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.RetrieveRegion("field", lo, hi, bound); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStoreExtract measures whole-dataset reconstruction through the
+// chunked path: every tile decodes concurrently, so this is also the
+// parallel-decompression figure.
+func BenchmarkStoreExtract(b *testing.B) {
+	g := storeField(b, []int{128, 128, 128})
+	eb := 1e-6 * g.ValueRange()
+	blob := storeBlob(b, g, eb)
+	b.SetBytes(int64(g.Len() * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := ipcomp.OpenStore(bytes.NewReader(blob), int64(len(blob)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.SetCacheBytes(0)
+		if _, err := s.RetrieveDataset("field", 0); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // ---- component micro-benchmarks ----

@@ -9,6 +9,13 @@
 //	ipcomp info       -in data.ipc
 //	ipcomp gen        -dataset Density -divisor 4 -out density.f64   (synthetic data)
 //
+// Chunked multi-dataset containers (region-of-interest retrieval):
+//
+//	ipcomp store pack    -out c.ipcs -eb 1e-6 -rel density=density.f64:64x96x96 ...
+//	ipcomp store ls      -in c.ipcs
+//	ipcomp store extract -in c.ipcs -dataset density -bound 1e-3 -out recon.f64
+//	ipcomp store region  -in c.ipcs -dataset density -lo 0,0,0 -hi 32,32,32 -out roi.f64
+//
 // retrieve opens the archive through io.ReaderAt and reads only the byte
 // ranges its loading plan selects, so the bytes-read figure it prints is a
 // faithful partial-I/O measurement.
@@ -44,6 +51,8 @@ func main() {
 		err = cmdInfo(os.Args[2:])
 	case "gen":
 		err = cmdGen(os.Args[2:])
+	case "store":
+		err = cmdStore(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -55,8 +64,20 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: ipcomp <compress|decompress|retrieve|info|gen> [flags]
+	fmt.Fprintln(os.Stderr, `usage: ipcomp <compress|decompress|retrieve|info|gen|store> [flags]
+store subcommands: pack, ls, extract, region
 run "ipcomp <subcommand> -h" for flags`)
+}
+
+func parseInterp(name string) (ipcomp.Interpolation, error) {
+	switch name {
+	case "linear":
+		return ipcomp.Linear, nil
+	case "cubic":
+		return ipcomp.Cubic, nil
+	default:
+		return 0, fmt.Errorf("unknown interpolation %q (want linear or cubic)", name)
+	}
 }
 
 func parseShape(s string) ([]int, error) {
@@ -115,9 +136,9 @@ func cmdCompress(args []string) error {
 	if err != nil {
 		return err
 	}
-	kind := ipcomp.Cubic
-	if *interpName == "linear" {
-		kind = ipcomp.Linear
+	kind, err := parseInterp(*interpName)
+	if err != nil {
+		return err
 	}
 	blob, err := ipcomp.Compress(data, shape, ipcomp.Options{
 		ErrorBound:    *eb,

@@ -1,0 +1,223 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/ipcomp"
+)
+
+// cmdStore dispatches the chunked-container subcommands:
+//
+//	ipcomp store pack    -out c.ipcs [-eb 1e-6] [-rel] [-chunk 64x64x64] [-interp cubic] name=file:shape ...
+//	ipcomp store ls      -in c.ipcs
+//	ipcomp store extract -in c.ipcs -dataset name [-bound 1e-3] -out out.f64
+//	ipcomp store region  -in c.ipcs -dataset name -lo 0,0,0 -hi 64,64,64 [-bound 1e-3] [-out out.f64]
+func cmdStore(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("store requires a subcommand: pack, ls, extract, region")
+	}
+	switch args[0] {
+	case "pack":
+		return cmdStorePack(args[1:])
+	case "ls":
+		return cmdStoreLs(args[1:])
+	case "extract":
+		return cmdStoreExtract(args[1:])
+	case "region":
+		return cmdStoreRegion(args[1:])
+	default:
+		return fmt.Errorf("unknown store subcommand %q (want pack, ls, extract, region)", args[0])
+	}
+}
+
+// parsePoint parses a comma-separated coordinate such as "0,32,64".
+func parsePoint(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad coordinate %q", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func cmdStorePack(args []string) error {
+	fs := flag.NewFlagSet("store pack", flag.ExitOnError)
+	out := fs.String("out", "", "output container file")
+	eb := fs.Float64("eb", 1e-6, "error bound applied to every dataset")
+	rel := fs.Bool("rel", false, "interpret -eb relative to each dataset's value range")
+	chunkStr := fs.String("chunk", "", "tile shape, e.g. 64x64x64 (default 64 per dimension)")
+	interpName := fs.String("interp", "cubic", "interpolation: linear|cubic")
+	fs.Parse(args)
+	specs := fs.Args()
+	if *out == "" || len(specs) == 0 {
+		return fmt.Errorf("store pack requires -out and at least one name=file:shape argument")
+	}
+	var chunk []int
+	if *chunkStr != "" {
+		var err error
+		if chunk, err = parseShape(*chunkStr); err != nil {
+			return err
+		}
+	}
+	kind, err := parseInterp(*interpName)
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sw, err := ipcomp.NewStoreWriter(f)
+	if err != nil {
+		return err
+	}
+	var raw int64
+	for _, spec := range specs {
+		name, rest, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("bad dataset spec %q (want name=file:shape)", spec)
+		}
+		path, shapeStr, ok := strings.Cut(rest, ":")
+		if !ok {
+			return fmt.Errorf("bad dataset spec %q (want name=file:shape)", spec)
+		}
+		shape, err := parseShape(shapeStr)
+		if err != nil {
+			return err
+		}
+		data, err := readFloats(path)
+		if err != nil {
+			return err
+		}
+		if err := sw.Add(name, data, shape, ipcomp.StoreOptions{
+			ErrorBound:    *eb,
+			Relative:      *rel,
+			Interpolation: kind,
+			ChunkShape:    chunk,
+		}); err != nil {
+			return err
+		}
+		raw += int64(len(data) * 8)
+		fmt.Printf("packed %s: %d values from %s\n", name, len(data), path)
+	}
+	if err := sw.Close(); err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("container %s: %d datasets, %d bytes (CR %.2f)\n",
+		*out, len(specs), st.Size(), float64(raw)/float64(st.Size()))
+	return nil
+}
+
+func cmdStoreLs(args []string) error {
+	fs := flag.NewFlagSet("store ls", flag.ExitOnError)
+	in := fs.String("in", "", "container file")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("store ls requires -in")
+	}
+	s, err := ipcomp.OpenStoreFile(*in)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	fmt.Printf("%-20s %-16s %-12s %8s %10s %12s\n",
+		"DATASET", "SHAPE", "CHUNK", "CHUNKS", "EB", "BYTES")
+	for _, ds := range s.Datasets() {
+		fmt.Printf("%-20s %-16s %-12s %8d %10.3g %12d\n",
+			ds.Name, shapeString(ds.Shape), shapeString(ds.ChunkShape),
+			ds.NumChunks, ds.ErrorBound, ds.CompressedBytes)
+	}
+	fmt.Printf("container: %d bytes total\n", s.Size())
+	return nil
+}
+
+func shapeString(shape []int) string {
+	parts := make([]string, len(shape))
+	for i, d := range shape {
+		parts[i] = strconv.Itoa(d)
+	}
+	return strings.Join(parts, "x")
+}
+
+func cmdStoreExtract(args []string) error {
+	fs := flag.NewFlagSet("store extract", flag.ExitOnError)
+	in := fs.String("in", "", "container file")
+	name := fs.String("dataset", "", "dataset name")
+	bound := fs.Float64("bound", 0, "L-inf error bound (0 = full fidelity)")
+	out := fs.String("out", "", "output raw float64 file")
+	fs.Parse(args)
+	if *in == "" || *name == "" || *out == "" {
+		return fmt.Errorf("store extract requires -in, -dataset, -out")
+	}
+	s, err := ipcomp.OpenStoreFile(*in)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	reg, err := s.RetrieveDataset(*name, *bound)
+	if err != nil {
+		return err
+	}
+	if err := writeFloats(*out, reg.Data()); err != nil {
+		return err
+	}
+	fmt.Printf("extracted %s (shape %s): %d chunks, loaded %d of %d bytes (%.1f%%), guaranteed error %.3g\n",
+		*name, shapeString(reg.Shape()), reg.Chunks(), reg.LoadedBytes(), s.Size(),
+		100*float64(reg.LoadedBytes())/float64(s.Size()), reg.GuaranteedError())
+	return nil
+}
+
+func cmdStoreRegion(args []string) error {
+	fs := flag.NewFlagSet("store region", flag.ExitOnError)
+	in := fs.String("in", "", "container file")
+	name := fs.String("dataset", "", "dataset name")
+	loStr := fs.String("lo", "", "region origin, e.g. 0,32,0 (inclusive)")
+	hiStr := fs.String("hi", "", "region end, e.g. 64,64,32 (exclusive)")
+	bound := fs.Float64("bound", 0, "L-inf error bound (0 = full fidelity)")
+	out := fs.String("out", "", "output raw float64 file (optional: stats print regardless)")
+	fs.Parse(args)
+	if *in == "" || *name == "" || *loStr == "" || *hiStr == "" {
+		return fmt.Errorf("store region requires -in, -dataset, -lo, -hi")
+	}
+	lo, err := parsePoint(*loStr)
+	if err != nil {
+		return err
+	}
+	hi, err := parsePoint(*hiStr)
+	if err != nil {
+		return err
+	}
+	s, err := ipcomp.OpenStoreFile(*in)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	reg, err := s.RetrieveRegion(*name, lo, hi, *bound)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := writeFloats(*out, reg.Data()); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("region %s[%s..%s) (shape %s): %d chunks, loaded %d of %d bytes (%.2f%%), guaranteed error %.3g\n",
+		*name, *loStr, *hiStr, shapeString(reg.Shape()), reg.Chunks(),
+		reg.LoadedBytes(), s.Size(),
+		100*float64(reg.LoadedBytes())/float64(s.Size()), reg.GuaranteedError())
+	return nil
+}

@@ -110,7 +110,7 @@ func Compress(g *grid.Grid, opt Options) ([]byte, error) {
 		blocks[l] = make([][]byte, used)
 		// Blocks are independent after predictive coding; DEFLATE them
 		// concurrently (bit-identical to the serial order).
-		parallelFor(used, func(p int) {
+		ParallelFor(used, func(p int) {
 			blocks[l][p] = codec.EncodeBlock(planes[p])
 		})
 		for p := 0; p < used; p++ {
@@ -146,7 +146,7 @@ func exactMaxDrop(ks []int32, nbv []uint32, used int) []uint32 {
 	chunks := maxWorkers((len(nbv) + minChunk - 1) / minChunk)
 	partial := make([][]uint32, chunks)
 	per := (len(nbv) + chunks - 1) / chunks
-	parallelFor(chunks, func(c int) {
+	ParallelFor(chunks, func(c int) {
 		lo := c * per
 		hi := lo + per
 		if hi > len(nbv) {

@@ -9,9 +9,10 @@ import (
 // XOR-predicted from planes above it *before* entropy coding, and entropy
 // coding is per block — so the DEFLATE stage parallelizes embarrassingly.
 // This file provides the worker-pool helpers used by compression (encode
-// all planes of a level concurrently) and retrieval (decode the selected
-// planes concurrently). Results land in pre-sized slices by index, so the
-// output is bit-identical to the serial path regardless of scheduling.
+// all planes of a level concurrently), retrieval (decode the selected
+// planes concurrently), and the chunked store (compress/retrieve tiles
+// concurrently). Results land in pre-sized slices by index, so the output
+// is bit-identical to the serial path regardless of scheduling.
 
 // maxWorkers bounds the encode/decode pool. Compression is CPU-bound; one
 // worker per core is the sweet spot.
@@ -26,9 +27,10 @@ func maxWorkers(jobs int) int {
 	return w
 }
 
-// parallelFor runs fn(i) for i in [0, n) on a bounded worker pool. fn must
-// only write to per-index state.
-func parallelFor(n int, fn func(i int)) {
+// ParallelFor runs fn(i) for i in [0, n) on a bounded worker pool. fn must
+// only write to per-index state. The work channel is buffered with all n
+// indices up front, so handing out work never blocks on a slow worker.
+func ParallelFor(n int, fn func(i int)) {
 	workers := maxWorkers(n)
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
@@ -36,8 +38,12 @@ func parallelFor(n int, fn func(i int)) {
 		}
 		return
 	}
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
 	var wg sync.WaitGroup
-	next := make(chan int)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
@@ -47,11 +53,45 @@ func parallelFor(n int, fn func(i int)) {
 			}
 		}()
 	}
+	wg.Wait()
+}
+
+// ParallelForErr runs fn(i) for i in [0, n) on a bounded worker pool and
+// returns the first error encountered. Once any call fails, workers stop
+// picking up new indices (fail fast); indices already in flight finish.
+// On error the set of completed indices is unspecified, so callers must
+// treat their per-index outputs as invalid.
+func ParallelForErr(n int, fn func(i int) error) error {
+	workers := maxWorkers(n)
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	next := make(chan int, n)
 	for i := 0; i < n; i++ {
 		next <- i
 	}
 	close(next)
+	var ferr firstError
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if ferr.get() != nil {
+					return
+				}
+				ferr.set(fn(i))
+			}
+		}()
+	}
 	wg.Wait()
+	return ferr.get()
 }
 
 // firstError collects the first error from concurrent workers.

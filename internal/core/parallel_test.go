@@ -1,0 +1,69 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 1000} {
+		hits := make([]int32, n)
+		ParallelFor(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d ran %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestParallelForErrPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	err := ParallelForErr(100, func(i int) error {
+		if i == 37 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if err := ParallelForErr(100, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+// TestArchiveRejectsHugeHeaderLength: a crafted length prefix near 2^63
+// must fail the plausibility check, not overflow it and reach make().
+func TestArchiveRejectsHugeHeaderLength(t *testing.T) {
+	blob := make([]byte, 64)
+	for i, b := range []byte{0xF0, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F} {
+		blob[i] = b
+	}
+	if _, err := NewArchive(blob); err == nil {
+		t.Error("archive with ~2^63 header length accepted")
+	}
+}
+
+func TestParallelForErrFailsFast(t *testing.T) {
+	// After the first index fails, workers must stop draining the queue:
+	// with a single-element working set per worker, far fewer than n calls
+	// should run. The exact count is scheduling-dependent, so only the
+	// serial path (n small or 1 core) is pinned tightly.
+	var calls atomic.Int64
+	boom := errors.New("boom")
+	err := ParallelForErr(100000, func(i int) error {
+		calls.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v", err)
+	}
+	if c := calls.Load(); c == 100000 {
+		t.Errorf("all %d indices ran despite an early failure", c)
+	}
+}

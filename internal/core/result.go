@@ -163,7 +163,7 @@ func (r *Result) loadPlanes(level, want int) error {
 		r.loadedBytes += int64(m.blockSizes[p])
 	}
 	var ferr firstError
-	parallelFor(want-have, func(i int) {
+	ParallelFor(want-have, func(i int) {
 		p := have + i
 		plane, err := codec.DecodeBlock(raw[p], planeBytes)
 		if err != nil {

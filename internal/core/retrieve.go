@@ -79,14 +79,19 @@ func NewArchiveFrom(src BlockSource) (*Archive, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Guard with a subtraction, not hlen+8: a crafted length near 2^63
+	// would overflow the addition and reach make() with a huge size.
 	hlen := int64(leUint64(pre))
-	if hlen <= 0 || hlen+8 > src.Size() {
+	if hlen <= 0 || hlen > src.Size()-8 {
 		return nil, fmt.Errorf("core: implausible header length %d", hlen)
 	}
-	raw, err := src.ReadRange(0, int(8+hlen))
+	rest, err := src.ReadRange(8, int(hlen))
 	if err != nil {
 		return nil, err
 	}
+	raw := make([]byte, 8+hlen)
+	copy(raw, pre)
+	copy(raw[8:], rest)
 	h, err := unmarshalHeader(raw)
 	if err != nil {
 		return nil, err

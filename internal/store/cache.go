@@ -1,0 +1,110 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// DefaultCacheBytes bounds the decoded-chunk LRU cache: repeated or
+// overlapping region queries reuse (and progressively refine) decoded
+// tiles instead of re-reading and re-decoding them.
+const DefaultCacheBytes = 256 << 20
+
+// cachedBytesPerElem is what one cached element is charged against the
+// budget. A cached core.Result holds the decoded values (8 B/elem) plus
+// the refinement state that makes in-place tightening possible: per-elem
+// int32 truncated indices (4 B) and the packed bitplanes kept for
+// predictive decoding (up to ~4 B). 16 B/elem keeps the budget honest.
+const cachedBytesPerElem = 16
+
+// chunkKey identifies one tile of one dataset.
+type chunkKey struct {
+	dataset string
+	chunk   int
+}
+
+// chunkEntry holds one decoded tile. res starts nil and is populated under
+// mu by the first retrieval; later queries at tighter bounds refine it in
+// place (loading only additional bitplanes), so the cache monotonically
+// gains fidelity per tile. counted tracks how many of res's loaded bytes
+// have already been attributed to some query's I/O accounting.
+type chunkEntry struct {
+	key     chunkKey
+	charged int64 // bytes charged against the cache budget
+
+	mu      sync.Mutex
+	res     *core.Result
+	counted int64
+}
+
+// chunkCache is a byte-budgeted LRU over decoded tiles. Entries are
+// charged their decoded size (elements × 8) up front, at admission:
+// the decoded size is known exactly from the tiling before any work
+// happens, and charging early keeps concurrent fills from overshooting
+// the budget. Evicted entries vanish from the map only — goroutines
+// holding a pointer finish their copy-out safely, and the memory is
+// reclaimed when they drop it.
+type chunkCache struct {
+	mu      sync.Mutex
+	cap     int64
+	used    int64
+	ll      *list.List // front = most recently used; values are *chunkEntry
+	entries map[chunkKey]*list.Element
+}
+
+func newChunkCache(capBytes int64) *chunkCache {
+	return &chunkCache{
+		cap:     capBytes,
+		ll:      list.New(),
+		entries: make(map[chunkKey]*list.Element),
+	}
+}
+
+// acquire returns the entry for key, creating (and admitting) it if
+// needed. With a non-positive capacity, caching is disabled and every call
+// returns a fresh uncached entry.
+func (c *chunkCache) acquire(key chunkKey, decodedBytes int64) *chunkEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap <= 0 {
+		return &chunkEntry{key: key, charged: decodedBytes}
+	}
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*chunkEntry)
+	}
+	e := &chunkEntry{key: key, charged: decodedBytes}
+	c.entries[key] = c.ll.PushFront(e)
+	c.used += e.charged
+	for c.used > c.cap && c.ll.Len() > 1 {
+		el := c.ll.Back()
+		victim := el.Value.(*chunkEntry)
+		c.ll.Remove(el)
+		delete(c.entries, victim.key)
+		c.used -= victim.charged
+	}
+	return e
+}
+
+// resize updates the capacity, evicting down to the new budget. A
+// non-positive capacity clears the cache and disables it.
+func (c *chunkCache) resize(capBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cap = capBytes
+	if c.cap <= 0 {
+		c.ll.Init()
+		c.entries = make(map[chunkKey]*list.Element)
+		c.used = 0
+		return
+	}
+	for c.used > c.cap && c.ll.Len() > 0 {
+		el := c.ll.Back()
+		victim := el.Value.(*chunkEntry)
+		c.ll.Remove(el)
+		delete(c.entries, victim.key)
+		c.used -= victim.charged
+	}
+}

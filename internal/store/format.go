@@ -1,0 +1,319 @@
+// Package store implements IPComp's chunked multi-dataset archive
+// container. A container holds any number of named N-d float64 datasets,
+// each split into fixed-size tiles (default 64³, edge tiles clipped) that
+// are compressed as independent IPComp archives. Because every tile is an
+// independently addressable blob behind io.ReaderAt — the venti/fossil
+// block-store shape — compression parallelizes across cores, and a
+// region-of-interest query reads only the bytes of the tiles it overlaps,
+// each at whatever progressive fidelity the caller asked for.
+//
+// Container layout:
+//
+//	preamble (8 bytes)   magic "IPCS", version, reserved
+//	chunk blobs          each an independent IPComp archive (core format)
+//	index                named-dataset table + per-chunk records
+//	footer (24 bytes)    index offset, index size, magic, version
+//
+// The index lives at the tail so a Writer can stream chunk blobs to any
+// io.Writer without seeking; readers locate it through the fixed-size
+// footer. Per dataset the index records the shape, the nominal chunk
+// shape, and the compression error bound; per chunk it records the byte
+// extent [off, off+size), the region [lo, hi) the chunk covers in dataset
+// coordinates, and the chunk's guaranteed maximum absolute error.
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+)
+
+// Magic identifies IPComp store containers ("IPCS" little-endian).
+const Magic = 0x53435049
+
+// Version is the container format version produced by this package.
+const Version = 1
+
+const (
+	preambleSize = 8
+	footerSize   = 24
+	maxNameLen   = 1<<16 - 1
+)
+
+// chunkRecord locates one compressed tile inside the container.
+type chunkRecord struct {
+	off    int64 // absolute byte offset of the chunk's IPComp archive
+	size   int64 // archive length in bytes
+	lo, hi []int // region covered, [lo, hi) in dataset coordinates
+	maxErr float64
+}
+
+// datasetMeta is one named dataset's index entry.
+type datasetMeta struct {
+	name   string
+	shape  grid.Shape
+	chunk  grid.Shape // nominal chunk shape
+	eb     float64    // compression-time absolute error bound
+	til    *tiling
+	chunks []chunkRecord // row-major chunk order, len == til.n
+}
+
+// compressedBytes sums the dataset's chunk blob sizes.
+func (ds *datasetMeta) compressedBytes() int64 {
+	var total int64
+	for i := range ds.chunks {
+		total += ds.chunks[i].size
+	}
+	return total
+}
+
+func marshalPreamble() []byte {
+	p := make([]byte, preambleSize)
+	binary.LittleEndian.PutUint32(p, Magic)
+	p[4] = Version
+	return p
+}
+
+func checkPreamble(p []byte) error {
+	if len(p) < preambleSize {
+		return errCorrupt
+	}
+	if binary.LittleEndian.Uint32(p) != Magic {
+		return fmt.Errorf("store: bad container magic %#x", binary.LittleEndian.Uint32(p))
+	}
+	if p[4] != Version {
+		return fmt.Errorf("store: unsupported container version %d", p[4])
+	}
+	return nil
+}
+
+func marshalFooter(indexOff, indexSize int64) []byte {
+	f := make([]byte, footerSize)
+	binary.LittleEndian.PutUint64(f, uint64(indexOff))
+	binary.LittleEndian.PutUint64(f[8:], uint64(indexSize))
+	binary.LittleEndian.PutUint32(f[16:], Magic)
+	f[20] = Version
+	return f
+}
+
+func unmarshalFooter(f []byte) (indexOff, indexSize int64, err error) {
+	if len(f) != footerSize {
+		return 0, 0, errCorrupt
+	}
+	if binary.LittleEndian.Uint32(f[16:]) != Magic {
+		return 0, 0, fmt.Errorf("store: bad footer magic %#x", binary.LittleEndian.Uint32(f[16:]))
+	}
+	if f[20] != Version {
+		return 0, 0, fmt.Errorf("store: unsupported container version %d", f[20])
+	}
+	return int64(binary.LittleEndian.Uint64(f)), int64(binary.LittleEndian.Uint64(f[8:])), nil
+}
+
+var errCorrupt = errors.New("store: corrupt container")
+
+func marshalIndex(datasets []*datasetMeta) []byte {
+	var buf bytes.Buffer
+	w := func(v interface{}) { binary.Write(&buf, binary.LittleEndian, v) }
+	w(uint32(len(datasets)))
+	for _, ds := range datasets {
+		w(uint16(len(ds.name)))
+		buf.WriteString(ds.name)
+		w(uint8(len(ds.shape)))
+		for _, e := range ds.shape {
+			w(uint32(e))
+		}
+		for _, e := range ds.chunk {
+			w(uint32(e))
+		}
+		w(ds.eb)
+		w(uint32(len(ds.chunks)))
+		for i := range ds.chunks {
+			c := &ds.chunks[i]
+			w(c.off)
+			w(c.size)
+			for d := range ds.shape {
+				w(uint32(c.lo[d]))
+				w(uint32(c.hi[d] - c.lo[d]))
+			}
+			w(c.maxErr)
+		}
+	}
+	return buf.Bytes()
+}
+
+type indexReader struct {
+	b   []byte
+	pos int
+}
+
+func (r *indexReader) remaining() int { return len(r.b) - r.pos }
+
+func (r *indexReader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.pos+n > len(r.b) {
+		return nil, errCorrupt
+	}
+	out := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return out, nil
+}
+
+func (r *indexReader) u8() (uint8, error) {
+	b, err := r.bytes(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *indexReader) u16() (uint16, error) {
+	b, err := r.bytes(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (r *indexReader) u32() (uint32, error) {
+	b, err := r.bytes(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *indexReader) i64() (int64, error) {
+	b, err := r.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(b)), nil
+}
+
+func (r *indexReader) f64() (float64, error) {
+	b, err := r.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
+}
+
+func unmarshalIndex(raw []byte, containerSize int64) ([]*datasetMeta, error) {
+	r := &indexReader{b: raw}
+	nds, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	// Every count below sizes an allocation, so bound it by the bytes that
+	// could possibly encode that many records before calling make():
+	// otherwise a tiny corrupt container could declare 2^32 entries and
+	// OOM the reader. 23 bytes is the minimum dataset record (empty name,
+	// rank 1, no chunks); 32 the minimum chunk record (rank 1).
+	const minDatasetRecord, minChunkRecord = 23, 32
+	if int64(nds) > int64(r.remaining())/minDatasetRecord {
+		return nil, errCorrupt
+	}
+	datasets := make([]*datasetMeta, 0, nds)
+	for di := uint32(0); di < nds; di++ {
+		nameLen, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		nameB, err := r.bytes(int(nameLen))
+		if err != nil {
+			return nil, err
+		}
+		rank, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if rank == 0 || int(rank) > grid.MaxDims {
+			return nil, fmt.Errorf("store: dataset %q has invalid rank %d", nameB, rank)
+		}
+		ds := &datasetMeta{
+			name:  string(nameB),
+			shape: make(grid.Shape, rank),
+			chunk: make(grid.Shape, rank),
+		}
+		for d := range ds.shape {
+			e, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			ds.shape[d] = int(e)
+		}
+		for d := range ds.chunk {
+			e, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			ds.chunk[d] = int(e)
+		}
+		if ds.eb, err = r.f64(); err != nil {
+			return nil, err
+		}
+		ds.til, err = newTiling(ds.shape, ds.chunk)
+		if err != nil {
+			return nil, err
+		}
+		nchunks, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if int64(nchunks) > int64(r.remaining())/minChunkRecord {
+			return nil, errCorrupt
+		}
+		if int(nchunks) != ds.til.n {
+			return nil, fmt.Errorf("store: dataset %q has %d chunks, tiling %v/%v implies %d",
+				ds.name, nchunks, ds.shape, ds.chunk, ds.til.n)
+		}
+		ds.chunks = make([]chunkRecord, nchunks)
+		for i := range ds.chunks {
+			c := &ds.chunks[i]
+			if c.off, err = r.i64(); err != nil {
+				return nil, err
+			}
+			if c.size, err = r.i64(); err != nil {
+				return nil, err
+			}
+			// Subtraction, not c.off+c.size: crafted extents near 2^63
+			// would overflow the addition and pass the bound check.
+			if c.off < preambleSize || c.off > containerSize || c.size <= 0 || c.size > containerSize-c.off {
+				return nil, fmt.Errorf("store: dataset %q chunk %d extent [%d,%d) outside container of %d bytes",
+					ds.name, i, c.off, c.off+c.size, containerSize)
+			}
+			c.lo = make([]int, rank)
+			c.hi = make([]int, rank)
+			for d := 0; d < int(rank); d++ {
+				o, err := r.u32()
+				if err != nil {
+					return nil, err
+				}
+				e, err := r.u32()
+				if err != nil {
+					return nil, err
+				}
+				c.lo[d] = int(o)
+				c.hi[d] = int(o) + int(e)
+			}
+			if c.maxErr, err = r.f64(); err != nil {
+				return nil, err
+			}
+			wantLo, wantHi := ds.til.box(i)
+			for d := 0; d < int(rank); d++ {
+				if c.lo[d] != wantLo[d] || c.hi[d] != wantHi[d] {
+					return nil, fmt.Errorf("store: dataset %q chunk %d covers [%v,%v), tiling implies [%v,%v)",
+						ds.name, i, c.lo, c.hi, wantLo, wantHi)
+				}
+			}
+		}
+		datasets = append(datasets, ds)
+	}
+	if r.pos != len(r.b) {
+		return nil, fmt.Errorf("store: %d trailing bytes after index", len(r.b)-r.pos)
+	}
+	return datasets, nil
+}

@@ -1,0 +1,263 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Store reads a chunked container through io.ReaderAt. Opening parses only
+// the preamble, footer, and index; chunk bytes are read lazily, and a
+// region query reads only the byte ranges that the loading plans of its
+// intersecting chunks select — true partial I/O end to end.
+type Store struct {
+	src      io.ReaderAt
+	size     int64
+	datasets map[string]*datasetMeta
+	order    []string
+	cache    *chunkCache
+}
+
+// Open parses a container's index from an io.ReaderAt of the given size.
+func Open(r io.ReaderAt, size int64) (*Store, error) {
+	if size < preambleSize+footerSize {
+		return nil, errCorrupt
+	}
+	pre := make([]byte, preambleSize)
+	if _, err := r.ReadAt(pre, 0); err != nil {
+		return nil, err
+	}
+	if err := checkPreamble(pre); err != nil {
+		return nil, err
+	}
+	foot := make([]byte, footerSize)
+	if _, err := r.ReadAt(foot, size-footerSize); err != nil {
+		return nil, err
+	}
+	indexOff, indexSize, err := unmarshalFooter(foot)
+	if err != nil {
+		return nil, err
+	}
+	if indexOff < preambleSize || indexSize < 0 || indexOff+indexSize != size-footerSize {
+		return nil, fmt.Errorf("store: index extent [%d,%d) inconsistent with container size %d",
+			indexOff, indexOff+indexSize, size)
+	}
+	raw := make([]byte, indexSize)
+	if _, err := r.ReadAt(raw, indexOff); err != nil {
+		return nil, err
+	}
+	metas, err := unmarshalIndex(raw, indexOff)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		src:      r,
+		size:     size,
+		datasets: make(map[string]*datasetMeta, len(metas)),
+		cache:    newChunkCache(DefaultCacheBytes),
+	}
+	for _, ds := range metas {
+		s.datasets[ds.name] = ds
+		s.order = append(s.order, ds.name)
+	}
+	return s, nil
+}
+
+// SetCacheBytes resizes the decoded-chunk LRU cache; 0 disables caching.
+func (s *Store) SetCacheBytes(n int64) { s.cache.resize(n) }
+
+// DatasetInfo summarizes one dataset of a container.
+type DatasetInfo struct {
+	Name            string
+	Shape           []int
+	ChunkShape      []int
+	ErrorBound      float64
+	NumChunks       int
+	CompressedBytes int64
+}
+
+// Datasets lists the container's datasets in insertion order.
+func (s *Store) Datasets() []DatasetInfo {
+	out := make([]DatasetInfo, 0, len(s.order))
+	for _, name := range s.order {
+		ds := s.datasets[name]
+		out = append(out, DatasetInfo{
+			Name:            ds.name,
+			Shape:           append([]int(nil), ds.shape...),
+			ChunkShape:      append([]int(nil), ds.chunk...),
+			ErrorBound:      ds.eb,
+			NumChunks:       len(ds.chunks),
+			CompressedBytes: ds.compressedBytes(),
+		})
+	}
+	return out
+}
+
+// Size returns the container's total size in bytes.
+func (s *Store) Size() int64 { return s.size }
+
+// Region is the result of a region-of-interest retrieval.
+type Region struct {
+	data       []float64
+	lo, hi     []int
+	loaded     int64
+	guaranteed float64
+	chunks     int
+}
+
+// Data returns the region's values in row-major order over its own shape.
+func (r *Region) Data() []float64 { return r.data }
+
+// Shape returns the region's extents, hi-lo per dimension.
+func (r *Region) Shape() []int {
+	out := make([]int, len(r.lo))
+	for d := range out {
+		out[d] = r.hi[d] - r.lo[d]
+	}
+	return out
+}
+
+// Lo returns the region's inclusive origin in dataset coordinates.
+func (r *Region) Lo() []int { return append([]int(nil), r.lo...) }
+
+// LoadedBytes reports the container bytes read by this query — bytes
+// already resident in the chunk cache from earlier queries are free.
+func (r *Region) LoadedBytes() int64 { return r.loaded }
+
+// GuaranteedError is the L∞ bound guaranteed across the region: the worst
+// guaranteed error among the chunks that produced it.
+func (r *Region) GuaranteedError() float64 { return r.guaranteed }
+
+// Chunks reports how many tiles the query touched.
+func (r *Region) Chunks() int { return r.chunks }
+
+// RetrieveRegion reconstructs the box [lo, hi) of the named dataset with a
+// guaranteed L∞ error of at most bound (0 means full fidelity). Only the
+// chunks intersecting the region are opened; each is retrieved at the
+// requested bound concurrently, reusing and refining cached decodes.
+func (s *Store) RetrieveRegion(name string, lo, hi []int, bound float64) (*Region, error) {
+	ds, ok := s.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("store: no dataset %q (have %v)", name, s.order)
+	}
+	if err := validateRegion(ds.shape, lo, hi); err != nil {
+		return nil, err
+	}
+	if bound == 0 {
+		bound = ds.eb
+	}
+	if bound < ds.eb {
+		return nil, core.ErrBoundTooTight
+	}
+
+	region := &Region{
+		data: make([]float64, boxLen(lo, hi)),
+		lo:   append([]int(nil), lo...),
+		hi:   append([]int(nil), hi...),
+	}
+	shape := region.Shape()
+	chunks := ds.til.intersecting(lo, hi)
+	region.chunks = len(chunks)
+	loaded := make([]int64, len(chunks))
+	guaranteed := make([]float64, len(chunks))
+	err := core.ParallelForErr(len(chunks), func(i int) error {
+		ci := chunks[i]
+		rec := &ds.chunks[ci]
+		entry := s.cache.acquire(chunkKey{dataset: name, chunk: ci},
+			int64(boxLen(rec.lo, rec.hi))*cachedBytesPerElem)
+		entry.mu.Lock()
+		defer entry.mu.Unlock()
+		if err := s.ensureChunk(entry, rec, bound); err != nil {
+			return fmt.Errorf("store: dataset %q chunk %d: %w", name, ci, err)
+		}
+		loaded[i] = entry.res.LoadedBytes() - entry.counted
+		entry.counted = entry.res.LoadedBytes()
+		guaranteed[i] = entry.res.GuaranteedError()
+		// Copy the overlap out while the entry is locked: a concurrent
+		// tighter query could otherwise refine the shared slice mid-copy.
+		clo, chi, ok := intersect(rec.lo, rec.hi, lo, hi)
+		if !ok {
+			return fmt.Errorf("store: chunk %d does not intersect region", ci)
+		}
+		chunkShape := make([]int, len(rec.lo))
+		for d := range chunkShape {
+			chunkShape[d] = rec.hi[d] - rec.lo[d]
+		}
+		copyRegion(region.data, shape, lo, entry.res.Data(), chunkShape, rec.lo, clo, chi)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range chunks {
+		region.loaded += loaded[i]
+		if guaranteed[i] > region.guaranteed {
+			region.guaranteed = guaranteed[i]
+		}
+	}
+	return region, nil
+}
+
+// RetrieveDataset reconstructs a whole dataset at the given bound.
+func (s *Store) RetrieveDataset(name string, bound float64) (*Region, error) {
+	ds, ok := s.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("store: no dataset %q (have %v)", name, s.order)
+	}
+	hi := append([]int(nil), ds.shape...)
+	return s.RetrieveRegion(name, make([]int, len(ds.shape)), hi, bound)
+}
+
+// ensureChunk makes entry.res valid at fidelity `bound` or better: first
+// touch opens the chunk's archive through a section of the container and
+// retrieves at the bound; a cached result with a looser guarantee is
+// refined in place, loading only the additional bitplanes. Callers hold
+// entry.mu.
+func (s *Store) ensureChunk(entry *chunkEntry, rec *chunkRecord, bound float64) error {
+	if entry.res == nil {
+		arch, err := core.NewArchiveReaderAt(io.NewSectionReader(s.src, rec.off, rec.size), rec.size)
+		if err != nil {
+			return err
+		}
+		res, err := arch.RetrieveErrorBound(bound)
+		if err != nil {
+			return err
+		}
+		entry.res = res
+		return nil
+	}
+	if entry.res.GuaranteedError() > bound {
+		if err := entry.res.RefineErrorBound(bound); err != nil {
+			// A partial refinement can advance the plan (which is what
+			// GuaranteedError reports) without applying the data delta.
+			// Drop the entry so the next query re-decodes instead of
+			// trusting a guarantee the data no longer meets.
+			entry.res = nil
+			entry.counted = 0
+			return err
+		}
+	}
+	return nil
+}
+
+// ChunksIntersecting reports which chunk boxes of a dataset a region
+// touches, for planning and instrumentation. The boxes are returned in
+// row-major chunk order.
+func (s *Store) ChunksIntersecting(name string, lo, hi []int) ([][2][]int, error) {
+	ds, ok := s.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("store: no dataset %q (have %v)", name, s.order)
+	}
+	if err := validateRegion(ds.shape, lo, hi); err != nil {
+		return nil, err
+	}
+	idx := ds.til.intersecting(lo, hi)
+	sort.Ints(idx)
+	out := make([][2][]int, len(idx))
+	for i, ci := range idx {
+		out[i] = [2][]int{ds.chunks[ci].lo, ds.chunks[ci].hi}
+	}
+	return out, nil
+}

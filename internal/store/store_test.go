@@ -1,0 +1,412 @@
+package store
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/grid"
+)
+
+// countingReaderAt counts the bytes served, so tests can assert that
+// region queries do true partial I/O against the container.
+type countingReaderAt struct {
+	r io.ReaderAt
+	n atomic.Int64
+}
+
+func (c *countingReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	n, err := c.r.ReadAt(p, off)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+func testField(t testing.TB, shape grid.Shape) *grid.Grid {
+	t.Helper()
+	g, err := datagen.GenerateShape("Density", shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func packOne(t testing.TB, g *grid.Grid, eb float64, chunk grid.Shape) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddGrid("field", g, WriteOptions{ErrorBound: eb, ChunkShape: chunk}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func openStore(t testing.TB, blob []byte) *Store {
+	t.Helper()
+	s, err := Open(bytes.NewReader(blob), int64(len(blob)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestTiling(t *testing.T) {
+	til, err := newTiling(grid.Shape{10, 7}, grid.Shape{4, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if til.n != 9 {
+		t.Fatalf("10x7 in 4x3 tiles: got %d chunks, want 9", til.n)
+	}
+	lo, hi := til.box(til.n - 1) // last chunk, clipped on both dims
+	if lo[0] != 8 || hi[0] != 10 || lo[1] != 6 || hi[1] != 7 {
+		t.Fatalf("last chunk box [%v,%v)", lo, hi)
+	}
+	got := til.intersecting([]int{3, 2}, []int{5, 4})
+	// Rows 0-1 x cols 0-1 of the 3x3 chunk grid.
+	want := []int{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("intersecting: got %v want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("intersecting: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestCopyRegionRoundTrip(t *testing.T) {
+	src := testField(t, grid.Shape{13, 9, 11})
+	lo, hi := []int{2, 1, 3}, []int{11, 8, 10}
+	shape := []int{9, 7, 7}
+	dst := make([]float64, 9*7*7)
+	copyRegion(dst, shape, lo, src.Data(), src.Shape(), []int{0, 0, 0}, lo, hi)
+	for x := lo[0]; x < hi[0]; x++ {
+		for y := lo[1]; y < hi[1]; y++ {
+			for z := lo[2]; z < hi[2]; z++ {
+				got := dst[((x-lo[0])*7+(y-lo[1]))*7+(z-lo[2])]
+				if got != src.At(x, y, z) {
+					t.Fatalf("copyRegion mismatch at (%d,%d,%d)", x, y, z)
+				}
+			}
+		}
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	g := testField(t, grid.Shape{40, 56, 48})
+	eb := 1e-4 * g.ValueRange()
+	blob := packOne(t, g, eb, grid.Shape{16, 16, 16})
+	s := openStore(t, blob)
+
+	full, err := s.RetrieveDataset("field", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := maxAbsDiff(full.Data(), g.Data()); got > eb {
+		t.Fatalf("full-fidelity error %g exceeds bound %g", got, eb)
+	}
+	if full.Chunks() != 3*4*3 {
+		t.Fatalf("full retrieval touched %d chunks, want %d", full.Chunks(), 3*4*3)
+	}
+}
+
+// TestRegionMatchesFull is the ROI correctness acceptance check: the
+// region retrieval must match the same region of a full decompression
+// within the requested bound.
+func TestRegionMatchesFull(t *testing.T) {
+	g := testField(t, grid.Shape{48, 48, 48})
+	eb := 1e-5 * g.ValueRange()
+	blob := packOne(t, g, eb, grid.Shape{16, 16, 16})
+	bound := 64 * eb
+
+	s := openStore(t, blob)
+	lo, hi := []int{7, 12, 0}, []int{41, 30, 33} // straddles many chunks
+	reg, err := s.RetrieveRegion("field", lo, hi, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.GuaranteedError() > bound {
+		t.Fatalf("guaranteed error %g exceeds requested bound %g", reg.GuaranteedError(), bound)
+	}
+
+	// Same region cut from a full retrieval at the same bound, via a fresh
+	// store so no cache state is shared.
+	s2 := openStore(t, blob)
+	full, err := s2.RetrieveDataset("field", bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, boxLen(lo, hi))
+	shape := reg.Shape()
+	copyRegion(want, shape, lo, full.Data(), g.Shape(), []int{0, 0, 0}, lo, hi)
+	if d := maxAbsDiff(reg.Data(), want); d != 0 {
+		t.Errorf("region differs from full decompression by %g", d)
+	}
+
+	// And against the original data, the requested bound must hold.
+	orig := make([]float64, boxLen(lo, hi))
+	copyRegion(orig, shape, lo, g.Data(), g.Shape(), []int{0, 0, 0}, lo, hi)
+	if d := maxAbsDiff(reg.Data(), orig); d > bound {
+		t.Errorf("region error %g exceeds requested bound %g", d, bound)
+	}
+}
+
+// TestRegionPartialIO is the partial-I/O acceptance check: retrieving a
+// ~12.5%-volume region must read well under 25% of the container's bytes.
+func TestRegionPartialIO(t *testing.T) {
+	g := testField(t, grid.Shape{64, 64, 64})
+	eb := 1e-5 * g.ValueRange()
+	blob := packOne(t, g, eb, grid.Shape{16, 16, 16}) // 64 chunks
+	cr := &countingReaderAt{r: bytes.NewReader(blob)}
+	s, err := Open(cr, int64(len(blob)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := cr.n.Load() // preamble + footer + index
+
+	if _, err := s.RetrieveRegion("field", []int{0, 0, 0}, []int{32, 32, 16}, 0); err != nil {
+		t.Fatal(err)
+	}
+	read := cr.n.Load()
+	if limit := int64(len(blob)) / 4; read >= limit {
+		t.Errorf("12.5%% region read %d of %d container bytes (>= 25%%), index/setup %d",
+			read, len(blob), setup)
+	}
+}
+
+// TestRegionCacheReuse: an identical follow-up query must be served
+// entirely from the decoded-chunk cache, and a tighter follow-up must load
+// only incremental bitplanes, not re-read what is already decoded.
+func TestRegionCacheReuse(t *testing.T) {
+	g := testField(t, grid.Shape{48, 48, 48})
+	eb := 1e-6 * g.ValueRange()
+	// A low progressive threshold makes even 16³ chunks bitplane-
+	// progressive, so tighter bounds genuinely load more planes.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddGrid("field", g, WriteOptions{
+		ErrorBound: eb, ChunkShape: grid.Shape{16, 16, 16}, ProgressiveThreshold: 128,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	cr := &countingReaderAt{r: bytes.NewReader(blob)}
+	s, err := Open(cr, int64(len(blob)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := []int{0, 0, 0}, []int{32, 32, 32}
+	coarse := 4096 * eb
+	r1, err := s.RetrieveRegion("field", lo, hi, coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after1 := cr.n.Load()
+
+	r2, err := s.RetrieveRegion("field", lo, hi, coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cr.n.Load() - after1; got != 0 {
+		t.Errorf("repeated identical query read %d bytes, want 0", got)
+	}
+	if r2.LoadedBytes() != 0 {
+		t.Errorf("repeated query reports %d loaded bytes, want 0", r2.LoadedBytes())
+	}
+	if d := maxAbsDiff(r1.Data(), r2.Data()); d != 0 {
+		t.Errorf("cached replay differs by %g", d)
+	}
+
+	// Refinement: tighter bound reads more, but less than a cold retrieval
+	// at the tight bound would.
+	r3, err := s.RetrieveRegion("field", lo, hi, 16*eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refineRead := cr.n.Load() - after1
+	if refineRead == 0 {
+		t.Fatalf("tighter query read nothing")
+	}
+	if r3.GuaranteedError() > 16*eb {
+		t.Errorf("refined guarantee %g exceeds bound %g", r3.GuaranteedError(), 16*eb)
+	}
+
+	cold := &countingReaderAt{r: bytes.NewReader(blob)}
+	s2, err := Open(cold, int64(len(blob)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := cold.n.Load()
+	if _, err := s2.RetrieveRegion("field", lo, hi, 16*eb); err != nil {
+		t.Fatal(err)
+	}
+	coldRead := cold.n.Load() - before
+	if refineRead >= coldRead {
+		t.Errorf("refinement read %d bytes, cold retrieval %d — refinement should be incremental",
+			refineRead, coldRead)
+	}
+}
+
+func TestMultiDataset(t *testing.T) {
+	a := testField(t, grid.Shape{24, 24, 24})
+	b, err := datagen.GenerateShape("Wave", grid.Shape{20, 28})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ebA := 1e-4 * a.ValueRange()
+	ebB := 1e-3 * b.ValueRange()
+
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddGrid("density", a, WriteOptions{ErrorBound: ebA, ChunkShape: grid.Shape{16, 16, 16}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddGrid("wave", b, WriteOptions{ErrorBound: ebB, ChunkShape: grid.Shape{8, 8}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddGrid("density", a, WriteOptions{ErrorBound: ebA}); err == nil {
+		t.Fatal("duplicate dataset name accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s := openStore(t, buf.Bytes())
+	infos := s.Datasets()
+	if len(infos) != 2 || infos[0].Name != "density" || infos[1].Name != "wave" {
+		t.Fatalf("datasets: %+v", infos)
+	}
+	if infos[0].NumChunks != 8 || infos[1].NumChunks != 3*4 {
+		t.Fatalf("chunk counts: %d, %d", infos[0].NumChunks, infos[1].NumChunks)
+	}
+	ra, err := s.RetrieveDataset("density", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(ra.Data(), a.Data()); d > ebA {
+		t.Errorf("density error %g > %g", d, ebA)
+	}
+	rb, err := s.RetrieveRegion("wave", []int{3, 5}, []int{17, 23}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, boxLen([]int{3, 5}, []int{17, 23}))
+	copyRegion(want, rb.Shape(), []int{3, 5}, b.Data(), b.Shape(), []int{0, 0}, []int{3, 5}, []int{17, 23})
+	if d := maxAbsDiff(rb.Data(), want); d > ebB {
+		t.Errorf("wave region error %g > %g", d, ebB)
+	}
+}
+
+func TestRetrieveErrors(t *testing.T) {
+	g := testField(t, grid.Shape{16, 16, 16})
+	eb := 1e-4 * g.ValueRange()
+	blob := packOne(t, g, eb, nil) // default chunk shape, clipped to 16³
+	s := openStore(t, blob)
+
+	if _, err := s.RetrieveRegion("nope", []int{0, 0, 0}, []int{1, 1, 1}, 0); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := s.RetrieveRegion("field", []int{0, 0}, []int{1, 1}, 0); err == nil {
+		t.Error("rank mismatch accepted")
+	}
+	if _, err := s.RetrieveRegion("field", []int{0, 0, 0}, []int{17, 1, 1}, 0); err == nil {
+		t.Error("out-of-bounds region accepted")
+	}
+	if _, err := s.RetrieveRegion("field", []int{2, 2, 2}, []int{2, 4, 4}, 0); err == nil {
+		t.Error("empty region accepted")
+	}
+	if _, err := s.RetrieveRegion("field", []int{0, 0, 0}, []int{8, 8, 8}, eb/2); !isBoundErr(err) {
+		t.Errorf("too-tight bound: got %v, want ErrBoundTooTight", err)
+	}
+}
+
+func isBoundErr(err error) bool { return err == core.ErrBoundTooTight }
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	if _, err := Open(bytes.NewReader(nil), 0); err == nil {
+		t.Error("empty container accepted")
+	}
+	junk := bytes.Repeat([]byte{0xAB}, 256)
+	if _, err := Open(bytes.NewReader(junk), int64(len(junk))); err == nil {
+		t.Error("junk container accepted")
+	}
+	// A valid container with a truncated tail must fail cleanly.
+	g := testField(t, grid.Shape{16, 16, 16})
+	blob := packOne(t, g, 1e-3*g.ValueRange(), nil)
+	if _, err := Open(bytes.NewReader(blob[:len(blob)-9]), int64(len(blob)-9)); err == nil {
+		t.Error("truncated container accepted")
+	}
+}
+
+// TestOpenRejectsHugeCounts: a tiny container whose index declares 2^32-1
+// datasets must fail with errCorrupt before allocating for them.
+func TestOpenRejectsHugeCounts(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(marshalPreamble())
+	idxOff := int64(buf.Len())
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // dataset count u32
+	buf.Write(marshalFooter(idxOff, 4))
+	if _, err := Open(bytes.NewReader(buf.Bytes()), int64(buf.Len())); err == nil {
+		t.Error("index with 2^32-1 datasets accepted")
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	g := testField(t, grid.Shape{32, 32, 32})
+	eb := 1e-4 * g.ValueRange()
+	blob := packOne(t, g, eb, grid.Shape{16, 16, 16}) // 8 chunks, 32 KiB decoded each
+	s := openStore(t, blob)
+	s.SetCacheBytes(2 * 16 * 16 * 16 * cachedBytesPerElem) // room for 2 decoded chunks
+	full, err := s.RetrieveDataset("field", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(full.Data(), g.Data()); d > eb {
+		t.Errorf("error %g > %g with tiny cache", d, eb)
+	}
+	c := s.cache
+	c.mu.Lock()
+	used, capB, entries := c.used, c.cap, len(c.entries)
+	c.mu.Unlock()
+	if used > capB {
+		t.Errorf("cache used %d exceeds cap %d", used, capB)
+	}
+	if entries > 2 {
+		t.Errorf("cache holds %d entries, cap allows 2", entries)
+	}
+	// Disabled cache still serves queries.
+	s.SetCacheBytes(0)
+	if _, err := s.RetrieveRegion("field", []int{0, 0, 0}, []int{8, 8, 8}, 0); err != nil {
+		t.Fatal(err)
+	}
+}

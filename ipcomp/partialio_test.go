@@ -1,0 +1,128 @@
+package ipcomp
+
+import (
+	"bytes"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/grid"
+)
+
+// countingReaderAt counts bytes served so tests can assert partial I/O.
+type countingReaderAt struct {
+	r *bytes.Reader
+	n atomic.Int64
+}
+
+func (c *countingReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	n, err := c.r.ReadAt(p, off)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+// TestOpenReaderAtPartialIO pins the property the store's ROI path depends
+// on: a loose-bound retrieval through io.ReaderAt reads strictly fewer
+// bytes than the archive holds, because the loading plan skips the low
+// bitplanes of progressive levels.
+func TestOpenReaderAtPartialIO(t *testing.T) {
+	g, err := datagen.GenerateShape("Density", grid.Shape{48, 48, 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb := 1e-7 * g.ValueRange()
+	blob, err := Compress(g.Data(), g.Shape(), Options{ErrorBound: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := &countingReaderAt{r: bytes.NewReader(blob)}
+	arch, err := OpenReaderAt(cr, int64(len(blob)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opened := cr.n.Load() // header bytes only
+
+	res, err := arch.RetrieveErrorBound(4096 * eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := cr.n.Load()
+	if read >= int64(len(blob)) {
+		t.Errorf("loose-bound retrieval read %d bytes of a %d-byte archive — no partial I/O", read, len(blob))
+	}
+	// The archive's own accounting must agree with the bytes that actually
+	// crossed the ReaderAt (both include the header).
+	if res.LoadedBytes() != read {
+		t.Errorf("LoadedBytes()=%d, but ReaderAt served %d", res.LoadedBytes(), read)
+	}
+	if opened >= read {
+		t.Errorf("opening read %d bytes, retrieval total %d — blocks were never read", opened, read)
+	}
+	for i, v := range res.Data() {
+		if math.Abs(v-g.Data()[i]) > 4096*eb {
+			t.Fatalf("value %d off by %g, bound %g", i, math.Abs(v-g.Data()[i]), 4096*eb)
+		}
+	}
+}
+
+// TestStorePublicAPI exercises the ipcomp.Store surface end to end:
+// multi-dataset pack, ls, ROI retrieval, relative bounds.
+func TestStorePublicAPI(t *testing.T) {
+	g, err := datagen.GenerateShape("Density", grid.Shape{40, 40, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sw, err := NewStoreWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := StoreOptions{ErrorBound: 1e-4, Relative: true, ChunkShape: []int{16, 16, 16}}
+	if err := sw.Add("density", g.Data(), g.Shape(), opt); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := OpenStore(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ds := s.Datasets()
+	if len(ds) != 1 || ds[0].Name != "density" || ds[0].NumChunks != 27 {
+		t.Fatalf("datasets: %+v", ds)
+	}
+	eb := 1e-4 * g.ValueRange()
+	if math.Abs(ds[0].ErrorBound-eb)/eb > 1e-12 {
+		t.Fatalf("stored bound %g, want %g", ds[0].ErrorBound, eb)
+	}
+
+	lo, hi := []int{8, 0, 8}, []int{32, 16, 40}
+	reg, err := s.RetrieveRegion("density", lo, hi, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{24, 16, 32}
+	for d := range want {
+		if reg.Shape()[d] != want[d] {
+			t.Fatalf("region shape %v, want %v", reg.Shape(), want)
+		}
+	}
+	if len(reg.Data()) != 24*16*32 {
+		t.Fatalf("region has %d values", len(reg.Data()))
+	}
+	// Spot-check the region against the original within the bound.
+	for x := lo[0]; x < hi[0]; x += 5 {
+		for y := lo[1]; y < hi[1]; y += 3 {
+			for z := lo[2]; z < hi[2]; z += 7 {
+				got := reg.Data()[((x-lo[0])*16+(y-lo[1]))*32+(z-lo[2])]
+				if math.Abs(got-g.At(x, y, z)) > eb {
+					t.Fatalf("(%d,%d,%d) off by %g > %g", x, y, z, math.Abs(got-g.At(x, y, z)), eb)
+				}
+			}
+		}
+	}
+}

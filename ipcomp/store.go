@@ -1,0 +1,188 @@
+package ipcomp
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/grid"
+	"repro/internal/store"
+)
+
+// StoreOptions configures how one dataset is added to a container.
+type StoreOptions struct {
+	// ErrorBound is the absolute point-wise error bound (required, > 0).
+	ErrorBound float64
+	// Relative interprets ErrorBound as a fraction of the dataset's value
+	// range, the paper's convention. The range is computed over the whole
+	// dataset, so every chunk shares one absolute bound.
+	Relative bool
+	// Interpolation defaults to Cubic (DefaultInterpolation).
+	Interpolation Interpolation
+	// ChunkShape is the tile shape; nil means 64 per dimension, clipped to
+	// the dataset extents.
+	ChunkShape []int
+	// ProgressiveThreshold is the minimum level size (elements) that is
+	// bitplane-progressive within each chunk; 0 means the library default.
+	ProgressiveThreshold int
+}
+
+// StoreWriter builds a chunked multi-dataset container. Each Add tiles the
+// dataset and compresses the tiles in parallel; Close appends the index.
+//
+//	f, _ := os.Create("climate.ipcs")
+//	sw, _ := ipcomp.NewStoreWriter(f)
+//	sw.Add("temperature", temp, []int{256, 384, 384}, ipcomp.StoreOptions{
+//		ErrorBound: 1e-6, Relative: true,
+//	})
+//	sw.Add("pressure", pres, []int{256, 384, 384}, ipcomp.StoreOptions{
+//		ErrorBound: 1e-6, Relative: true,
+//	})
+//	sw.Close()
+//	f.Close()
+type StoreWriter struct {
+	w *store.Writer
+}
+
+// NewStoreWriter starts a container on w. The writer streams: it never
+// seeks, so any io.Writer works.
+func NewStoreWriter(w io.Writer) (*StoreWriter, error) {
+	sw, err := store.NewWriter(w)
+	if err != nil {
+		return nil, err
+	}
+	return &StoreWriter{w: sw}, nil
+}
+
+// Add compresses a row-major float64 dataset into the container under the
+// given name.
+func (sw *StoreWriter) Add(name string, data []float64, shape []int, opt StoreOptions) error {
+	g, err := grid.FromSlice(data, grid.Shape(shape))
+	if err != nil {
+		return err
+	}
+	eb := opt.ErrorBound
+	if opt.Relative {
+		r := g.ValueRange()
+		if r == 0 {
+			r = 1 // constant field: any positive bound works
+		}
+		eb *= r
+	}
+	return sw.w.AddGrid(name, g, store.WriteOptions{
+		ErrorBound:           eb,
+		Interpolation:        opt.Interpolation.kind(),
+		ChunkShape:           grid.Shape(opt.ChunkShape),
+		ProgressiveThreshold: opt.ProgressiveThreshold,
+	})
+}
+
+// Close appends the index and footer, completing the container. It does
+// not close the underlying writer.
+func (sw *StoreWriter) Close() error { return sw.w.Close() }
+
+// StoreDataset summarizes one dataset of an open container.
+type StoreDataset = store.DatasetInfo
+
+// Region is a region-of-interest reconstruction from a Store.
+type Region struct {
+	r *store.Region
+}
+
+// Data returns the region's values in row-major order over Shape().
+func (r *Region) Data() []float64 { return r.r.Data() }
+
+// Shape returns the region's extents.
+func (r *Region) Shape() []int { return r.r.Shape() }
+
+// LoadedBytes reports the container bytes this query read; chunks already
+// decoded in the store's cache are free.
+func (r *Region) LoadedBytes() int64 { return r.r.LoadedBytes() }
+
+// GuaranteedError is the L∞ bound guaranteed across the region.
+func (r *Region) GuaranteedError() float64 { return r.r.GuaranteedError() }
+
+// Chunks reports how many tiles the query touched.
+func (r *Region) Chunks() int { return r.r.Chunks() }
+
+// Store provides region-of-interest access to a chunked container. Every
+// query opens only the tiles that intersect its region, retrieves each at
+// the requested fidelity concurrently, and caches decoded tiles (LRU) so
+// overlapping or repeated queries refine instead of re-decoding.
+type Store struct {
+	s *store.Store
+	c io.Closer
+}
+
+// OpenStore opens a container through an io.ReaderAt of the given size.
+// Only the index is read eagerly.
+func OpenStore(r io.ReaderAt, size int64) (*Store, error) {
+	s, err := store.Open(r, size)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{s: s}, nil
+}
+
+// OpenStoreFile opens a container file. Close releases the file handle.
+func OpenStoreFile(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s, err := store.Open(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Store{s: s, c: f}, nil
+}
+
+// Close releases the file handle held by OpenStoreFile; it is a no-op for
+// stores opened on a caller-owned reader.
+func (s *Store) Close() error {
+	if s.c == nil {
+		return nil
+	}
+	return s.c.Close()
+}
+
+// Datasets lists the container's datasets in insertion order.
+func (s *Store) Datasets() []StoreDataset { return s.s.Datasets() }
+
+// Size returns the container size in bytes.
+func (s *Store) Size() int64 { return s.s.Size() }
+
+// SetCacheBytes resizes the decoded-chunk LRU cache (default 256 MiB);
+// 0 disables caching.
+func (s *Store) SetCacheBytes(n int64) { s.s.SetCacheBytes(n) }
+
+// RetrieveRegion reconstructs the box [lo, hi) of the named dataset with a
+// guaranteed L∞ error of at most bound; bound 0 means full fidelity. The
+// result's shape is hi-lo per dimension.
+func (s *Store) RetrieveRegion(name string, lo, hi []int, bound float64) (*Region, error) {
+	r, err := s.s.RetrieveRegion(name, lo, hi, bound)
+	if err != nil {
+		return nil, err
+	}
+	return &Region{r: r}, nil
+}
+
+// RetrieveDataset reconstructs a whole named dataset at the given bound.
+func (s *Store) RetrieveDataset(name string, bound float64) (*Region, error) {
+	r, err := s.s.RetrieveDataset(name, bound)
+	if err != nil {
+		return nil, err
+	}
+	return &Region{r: r}, nil
+}
+
+// String summarizes the container for logs.
+func (s *Store) String() string {
+	return fmt.Sprintf("ipcomp.Store{%d datasets, %d bytes}", len(s.s.Datasets()), s.s.Size())
+}
