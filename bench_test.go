@@ -518,12 +518,40 @@ func BenchmarkStoreExtract(b *testing.B) {
 
 func BenchmarkSPERRCompress(b *testing.B) { benchCodecCompress(b, sperr.New(), "Wave") }
 
+// BenchmarkBitplaneSplit measures the engine's actual split stage: the
+// compressor transposes into pooled backings via SplitInto, allocation-free.
+// (Before PR 2 the compressor used the allocating Split inside this loop;
+// BenchmarkBitplaneSplitAlloc below still measures that API for
+// apples-to-apples comparison with pre-PR-2 numbers.)
 func BenchmarkBitplaneSplit(b *testing.B) {
 	vals := make([]uint32, 1<<16)
 	for i := range vals {
 		vals[i] = uint32(i * 2654435761)
 	}
+	nbytes := (len(vals) + 7) / 8
+	backing := make([]byte, bitplane.Planes*nbytes)
+	planes := make([][]byte, bitplane.Planes)
+	for p := range planes {
+		planes[p] = backing[p*nbytes : (p+1)*nbytes]
+	}
 	b.SetBytes(int64(len(vals) * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bitplane.SplitInto(planes, vals)
+	}
+}
+
+// BenchmarkBitplaneSplitAlloc measures the allocating Split API, the exact
+// workload the pre-PR-2 BenchmarkBitplaneSplit timed (allocation included).
+func BenchmarkBitplaneSplitAlloc(b *testing.B) {
+	vals := make([]uint32, 1<<16)
+	for i := range vals {
+		vals[i] = uint32(i * 2654435761)
+	}
+	b.SetBytes(int64(len(vals) * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bitplane.Split(vals)
 	}
@@ -537,6 +565,8 @@ func BenchmarkBitplaneMerge(b *testing.B) {
 	planes := bitplane.Split(vals)
 	out := make([]uint32, len(vals))
 	b.SetBytes(int64(len(vals) * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bitplane.MergeInto(out, planes)
 	}

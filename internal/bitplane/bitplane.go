@@ -20,6 +20,19 @@ import (
 // Planes is the number of bitplanes per 32-bit integer.
 const Planes = 32
 
+// transpose8 transposes an 8×8 bit matrix held in a uint64: row r lives in
+// byte (7-r), with column 0 at each byte's most significant bit. Rows and
+// columns use the same significance direction, so the standard butterfly
+// network (Hacker's Delight §7-3) swaps about the main diagonal.
+func transpose8(x uint64) uint64 {
+	t := (x ^ (x >> 7)) & 0x00AA00AA00AA00AA
+	x = x ^ t ^ (t << 7)
+	t = (x ^ (x >> 14)) & 0x0000CCCC0000CCCC
+	x = x ^ t ^ (t << 14)
+	t = (x ^ (x >> 28)) & 0x00000000F0F0F0F0
+	return x ^ t ^ (t << 28)
+}
+
 // Split transposes values into 32 packed bitplanes. Element i of the result
 // is the plane for bit (31-i), i.e. planes are ordered MSB first. Each plane
 // is packed 8 bits per byte, first value in the most significant bit of
@@ -32,18 +45,62 @@ func Split(values []uint32) [][]byte {
 	for p := 0; p < Planes; p++ {
 		planes[p] = backing[p*nbytes : (p+1)*nbytes : (p+1)*nbytes]
 	}
-	for i, v := range values {
-		byteIdx := i >> 3
-		bit := byte(0x80) >> uint(i&7)
-		// Unrolled by plane would be faster but this keeps the hot loop
-		// simple; Split is not on the critical decompression path.
-		for p := 0; p < Planes; p++ {
-			if v&(1<<uint(31-p)) != 0 {
-				planes[p][byteIdx] |= bit
-			}
+	SplitRange(planes, values, 0, n)
+	return planes
+}
+
+// SplitInto transposes values into caller-provided planes: len(planes) must
+// be Planes and every plane at least ceil(len(values)/8) bytes. Every plane
+// byte in range is overwritten, so pooled backings need no zeroing. This is
+// the allocation-free entry of the compression hot path — Split and
+// SplitInto both run on the word-level 8×32 bit-matrix transpose.
+func SplitInto(planes [][]byte, values []uint32) {
+	if len(planes) != Planes {
+		panic("bitplane: SplitInto needs exactly 32 planes")
+	}
+	SplitRange(planes, values, 0, len(values))
+}
+
+// SplitRange transposes the value range [lo, hi) into the planes' byte
+// range [lo/8, ceil(hi/8)). lo must be a multiple of 8. Disjoint 8-aligned
+// ranges touch disjoint plane bytes, so shards may run concurrently.
+func SplitRange(planes [][]byte, values []uint32, lo, hi int) {
+	if lo&7 != 0 {
+		panic("bitplane: SplitRange start must be 8-aligned")
+	}
+	if hi > len(values) {
+		hi = len(values)
+	}
+	var vv [8]uint32
+	for base := lo; base < hi; base += 8 {
+		g := base >> 3
+		m := hi - base
+		if m >= 8 {
+			vv = [8]uint32(values[base : base+8])
+		} else {
+			vv = [8]uint32{}
+			copy(vv[:], values[base:hi])
+		}
+		// One 8×8 transpose per byte of the values: block b covers planes
+		// 8b..8b+7, fed by byte (3-b) of every value.
+		for b := 0; b < 4; b++ {
+			shift := uint(24 - 8*b)
+			x := uint64(byte(vv[0]>>shift))<<56 | uint64(byte(vv[1]>>shift))<<48 |
+				uint64(byte(vv[2]>>shift))<<40 | uint64(byte(vv[3]>>shift))<<32 |
+				uint64(byte(vv[4]>>shift))<<24 | uint64(byte(vv[5]>>shift))<<16 |
+				uint64(byte(vv[6]>>shift))<<8 | uint64(byte(vv[7]>>shift))
+			y := transpose8(x)
+			p := 8 * b
+			planes[p][g] = byte(y >> 56)
+			planes[p+1][g] = byte(y >> 48)
+			planes[p+2][g] = byte(y >> 40)
+			planes[p+3][g] = byte(y >> 32)
+			planes[p+4][g] = byte(y >> 24)
+			planes[p+5][g] = byte(y >> 16)
+			planes[p+6][g] = byte(y >> 8)
+			planes[p+7][g] = byte(y)
 		}
 	}
-	return planes
 }
 
 // Merge reassembles integers from a prefix of MSB-first planes. Absent
@@ -56,22 +113,57 @@ func Merge(planes [][]byte, n int) []uint32 {
 	return out
 }
 
-// MergeInto reassembles into an existing slice, zeroing it first.
+// MergeInto reassembles into an existing slice; every element is
+// overwritten. Like Split it runs on the word-level transpose — merging is
+// on the critical decompression path (every retrieval and refinement
+// rebuilds its truncated indices through it).
 func MergeInto(out []uint32, planes [][]byte) {
-	for i := range out {
-		out[i] = 0
+	MergeRange(out, planes, 0, len(out))
+}
+
+// MergeRange reassembles the value range [lo, hi) only. lo must be a
+// multiple of 8; disjoint 8-aligned ranges may run concurrently.
+func MergeRange(out []uint32, planes [][]byte, lo, hi int) {
+	if lo&7 != 0 {
+		panic("bitplane: MergeRange start must be 8-aligned")
 	}
-	for p, plane := range planes {
-		if plane == nil || p >= Planes {
-			continue
-		}
-		shift := uint(31 - p)
-		for i := range out {
-			byteIdx := i >> 3
-			bit := byte(0x80) >> uint(i&7)
-			if plane[byteIdx]&bit != 0 {
-				out[i] |= 1 << shift
+	if hi > len(out) {
+		hi = len(out)
+	}
+	np := len(planes)
+	if np > Planes {
+		np = Planes
+	}
+	for base := lo; base < hi; base += 8 {
+		g := base >> 3
+		var vv [8]uint32
+		for b := 0; b < 4; b++ {
+			var x uint64
+			for r := 0; r < 8; r++ {
+				p := 8*b + r
+				if p >= np || planes[p] == nil {
+					continue
+				}
+				x |= uint64(planes[p][g]) << uint(56-8*r)
 			}
+			if x == 0 {
+				continue
+			}
+			y := transpose8(x)
+			shift := uint(24 - 8*b)
+			vv[0] |= uint32(byte(y>>56)) << shift
+			vv[1] |= uint32(byte(y>>48)) << shift
+			vv[2] |= uint32(byte(y>>40)) << shift
+			vv[3] |= uint32(byte(y>>32)) << shift
+			vv[4] |= uint32(byte(y>>24)) << shift
+			vv[5] |= uint32(byte(y>>16)) << shift
+			vv[6] |= uint32(byte(y>>8)) << shift
+			vv[7] |= uint32(byte(y)) << shift
+		}
+		if hi-base >= 8 {
+			copy(out[base:base+8], vv[:])
+		} else {
+			copy(out[base:hi], vv[:hi-base])
 		}
 	}
 }
@@ -103,8 +195,15 @@ func NumUsedPlanes(values []uint32) int {
 // planes LSB-to-MSB (a plane's sources are modified after it is, never
 // before).
 func PredictEncode(planes [][]byte) {
+	PredictEncodeBytes(planes, 0, planesMaxLen(planes))
+}
+
+// PredictEncodeBytes applies the prediction to the byte columns [lo, hi)
+// only. The transform is element-wise across byte positions, so disjoint
+// column ranges may run concurrently.
+func PredictEncodeBytes(planes [][]byte, lo, hi int) {
 	for p := len(planes) - 1; p >= 1; p-- {
-		xorWithPrefix(planes, p)
+		xorWithPrefixBytes(planes, p, lo, hi)
 	}
 }
 
@@ -118,6 +217,12 @@ func PredictDecode(planes [][]byte) {
 // `from` were decoded earlier. This is what incremental refinement uses when
 // it appends newly loaded planes below an already-decoded prefix.
 func PredictDecodeRange(planes [][]byte, from, to int) {
+	PredictDecodeRangeBytes(planes, from, to, 0, planesMaxLen(planes))
+}
+
+// PredictDecodeRangeBytes decodes planes [from, to) restricted to the byte
+// columns [lo, hi); disjoint column ranges may run concurrently.
+func PredictDecodeRangeBytes(planes [][]byte, from, to, lo, hi int) {
 	if from < 1 {
 		from = 1 // the MSB plane is stored unpredicted
 	}
@@ -125,28 +230,47 @@ func PredictDecodeRange(planes [][]byte, from, to int) {
 		if planes[p] == nil {
 			continue
 		}
-		xorWithPrefix(planes, p)
+		xorWithPrefixBytes(planes, p, lo, hi)
 	}
 }
 
-// xorWithPrefix XORs plane p with planes p-1 and p-2 (those that exist and
-// are loaded). XOR is an involution, so the same helper serves both encode
-// and decode.
-func xorWithPrefix(planes [][]byte, p int) {
+// planesMaxLen returns the longest plane length, the upper bound of the
+// byte-column space.
+func planesMaxLen(planes [][]byte) int {
+	n := 0
+	for _, p := range planes {
+		if len(p) > n {
+			n = len(p)
+		}
+	}
+	return n
+}
+
+// xorWithPrefixBytes XORs plane p with planes p-1 and p-2 (those that
+// exist and are loaded), restricted to byte columns [lo, hi). XOR is an
+// involution, so the same helper serves both encode and decode.
+func xorWithPrefixBytes(planes [][]byte, p, lo, hi int) {
 	dst := planes[p]
 	if dst == nil {
 		return
 	}
+	if hi > len(dst) {
+		hi = len(dst)
+	}
+	if lo >= hi {
+		return
+	}
+	d := dst[lo:hi]
 	if p >= 1 && planes[p-1] != nil {
-		a := planes[p-1]
-		for i := range dst {
-			dst[i] ^= a[i]
+		a := planes[p-1][lo:hi]
+		for i := range d {
+			d[i] ^= a[i]
 		}
 	}
 	if p >= 2 && planes[p-2] != nil {
-		a := planes[p-2]
-		for i := range dst {
-			dst[i] ^= a[i]
+		a := planes[p-2][lo:hi]
+		for i := range d {
+			d[i] ^= a[i]
 		}
 	}
 }

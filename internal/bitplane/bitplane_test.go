@@ -1,6 +1,7 @@
 package bitplane
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -185,5 +186,110 @@ func TestOnesAndEntropy(t *testing.T) {
 	allZero := []byte{0, 0}
 	if e := BitEntropy(allZero, 16); e != 0 {
 		t.Errorf("BitEntropy of zeros = %v, want 0", e)
+	}
+}
+
+// refSplit is the original per-bit implementation, kept as the oracle for
+// the word-level transpose.
+func refSplit(values []uint32) [][]byte {
+	n := len(values)
+	nbytes := (n + 7) / 8
+	planes := make([][]byte, Planes)
+	backing := make([]byte, Planes*nbytes)
+	for p := 0; p < Planes; p++ {
+		planes[p] = backing[p*nbytes : (p+1)*nbytes]
+	}
+	for i, v := range values {
+		byteIdx := i >> 3
+		bit := byte(0x80) >> uint(i&7)
+		for p := 0; p < Planes; p++ {
+			if v&(1<<uint(31-p)) != 0 {
+				planes[p][byteIdx] |= bit
+			}
+		}
+	}
+	return planes
+}
+
+func refMergeInto(out []uint32, planes [][]byte) {
+	for i := range out {
+		out[i] = 0
+	}
+	for p, plane := range planes {
+		if plane == nil || p >= Planes {
+			continue
+		}
+		shift := uint(31 - p)
+		for i := range out {
+			byteIdx := i >> 3
+			bit := byte(0x80) >> uint(i&7)
+			if plane[byteIdx]&bit != 0 {
+				out[i] |= 1 << shift
+			}
+		}
+	}
+}
+
+// TestTransposeMatchesReference drives the word-level Split/MergeInto
+// against the per-bit reference on awkward lengths and random values,
+// including partial plane prefixes with nil holes.
+func TestTransposeMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, n := range []int{0, 1, 7, 8, 9, 15, 16, 17, 63, 64, 100, 1000, 4093} {
+		values := make([]uint32, n)
+		for i := range values {
+			values[i] = rng.Uint32()
+		}
+		got := Split(values)
+		want := refSplit(values)
+		for p := 0; p < Planes; p++ {
+			if !bytes.Equal(got[p], want[p]) {
+				t.Fatalf("n=%d plane %d differs\n got  %x\n want %x", n, p, got[p], want[p])
+			}
+		}
+		// Full merge round-trips.
+		out := make([]uint32, n)
+		MergeInto(out, got)
+		for i := range out {
+			if out[i] != values[i] {
+				t.Fatalf("n=%d: merge[%d] = %#x, want %#x", n, i, out[i], values[i])
+			}
+		}
+		// Partial prefixes with nil holes must match the reference merge.
+		for _, keep := range []int{0, 1, 5, 13, 32} {
+			partial := make([][]byte, Planes)
+			for p := 0; p < keep && p < Planes; p++ {
+				partial[p] = got[p]
+			}
+			if keep > 3 {
+				partial[2] = nil // hole
+			}
+			refOut := make([]uint32, n)
+			refMergeInto(refOut, partial)
+			newOut := make([]uint32, n)
+			MergeInto(newOut, partial)
+			for i := range refOut {
+				if refOut[i] != newOut[i] {
+					t.Fatalf("n=%d keep=%d: merge[%d] = %#x, want %#x", n, keep, i, newOut[i], refOut[i])
+				}
+			}
+		}
+		// Sharded split equals whole split.
+		if n >= 16 {
+			shard := refSplit(values) // correct layout to overwrite
+			for p := range shard {
+				for i := range shard[p] {
+					shard[p][i] = 0xFF // poison: SplitRange must overwrite fully
+				}
+			}
+			cut := (n / 2) &^ 7
+			SplitRange(shard, values, 0, cut)
+			SplitRange(shard, values, cut, n)
+			for p := 0; p < Planes; p++ {
+				if !bytes.Equal(shard[p], want[p]) {
+					t.Fatalf("n=%d sharded plane %d differs", n, p)
+				}
+			}
+		}
 	}
 }

@@ -38,7 +38,8 @@ func Compress(g *grid.Grid, opt Options) ([]byte, error) {
 
 	// Work on a copy: compression simulates decompression in place so that
 	// predictions always come from reconstructed (lossy) values.
-	work := make([]float64, g.Len())
+	work := floatScratch.Get(g.Len())
+	defer floatScratch.Put(work)
 	copy(work, g.Data())
 
 	h := &header{
@@ -56,25 +57,32 @@ func Compress(g *grid.Grid, opt Options) ([]byte, error) {
 		h.anchors[i] = work[idx]
 	}
 
-	// Quantize each level against predictions from the (lossy) work array.
+	// Pre-size every level's index buffer from the closed-form level count:
+	// one pooled backing holds all levels, no append growth on the hot path.
+	counts := make([]int, L+1)
+	totalPts, maxCount := 0, 0
+	for l := 1; l <= L; l++ {
+		counts[l] = dec.LevelCount(l)
+		totalPts += counts[l]
+		if counts[l] > maxCount {
+			maxCount = counts[l]
+		}
+	}
+	ksAll := int32Scratch.Get(totalPts)
+	defer int32Scratch.Put(ksAll)
 	qvals := make([][]int32, L+1) // 1-based by level
+	for l, off := 1, 0; l <= L; l++ {
+		qvals[l] = ksAll[off : off+counts[l] : off+counts[l]]
+		off += counts[l]
+	}
+
+	// Quantize each level against predictions from the (lossy) work array,
+	// coarse to fine, sharding each dimension pass across the worker pool.
+	enc := newLevelQuantizer(work, q)
 	for l := L; l >= 1; l-- {
 		m := h.metaOf(l)
-		var ks []int32
-		seq := uint32(0)
-		dec.VisitLevel(work, l, opt.Interpolation, func(idx int, pred float64) float64 {
-			k, recon, ok := q.QuantizeReconstruct(work[idx], pred)
-			if !ok {
-				m.outlierIdx = append(m.outlierIdx, seq)
-				m.outlierVal = append(m.outlierVal, work[idx])
-				k, recon = 0, work[idx]
-			}
-			ks = append(ks, k)
-			seq++
-			return recon
-		})
-		m.count = len(ks)
-		qvals[l] = ks
+		enc.quantizeLevel(dec, l, opt.Interpolation, qvals[l], m)
+		m.count = counts[l]
 	}
 
 	// Decide which levels are progressive: level counts grow roughly 2^D
@@ -91,21 +99,38 @@ func Compress(g *grid.Grid, opt Options) ([]byte, error) {
 	// Bitplane-encode every level. Non-progressive levels use the same
 	// encoding (a retrieval simply always loads all their planes), which
 	// keeps the format uniform.
+	nbv := uint32Scratch.Get(maxCount)
+	defer uint32Scratch.Put(nbv)
 	blocks := make([][][]byte, L+1)
 	for l := 1; l <= L; l++ {
 		m := h.metaOf(l)
 		ks := qvals[l]
-		nbv := make([]uint32, len(ks))
-		for i, k := range ks {
-			nbv[i] = nb.Encode32(k)
-		}
-		used := bitplane.NumUsedPlanes(nbv)
+		n := len(ks)
+		nbvL := nbv[:n]
+		parallelChunks(n, minShardTargets, 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				nbvL[i] = nb.Encode32(ks[i])
+			}
+		})
+		used := bitplane.NumUsedPlanes(nbvL)
 		m.usedPlanes = used
-		m.maxDrop = exactMaxDrop(ks, nbv, used)
+		m.maxDrop = exactMaxDrop(ks, nbvL, used)
 
-		all := bitplane.Split(nbv)
+		// Transpose into a pooled backing (SplitRange overwrites every byte
+		// in range, so no zeroing), then XOR-predict by byte columns.
+		nbytes := (n + 7) / 8
+		backing := byteScratch.Get(bitplane.Planes * nbytes)
+		var all [bitplane.Planes][]byte
+		for p := range all {
+			all[p] = backing[p*nbytes : (p+1)*nbytes : (p+1)*nbytes]
+		}
+		parallelChunks(n, minShardTargets, 8, func(lo, hi int) {
+			bitplane.SplitRange(all[:], nbvL, lo, hi)
+		})
 		planes := all[32-used:] // drop the identically-zero leading planes
-		bitplane.PredictEncode(planes)
+		parallelChunks(nbytes, minShardTargets/8, 1, func(lo, hi int) {
+			bitplane.PredictEncodeBytes(planes, lo, hi)
+		})
 		m.blockSizes = make([]uint32, used)
 		blocks[l] = make([][]byte, used)
 		// Blocks are independent after predictive coding; DEFLATE them
@@ -116,6 +141,7 @@ func Compress(g *grid.Grid, opt Options) ([]byte, error) {
 		for p := 0; p < used; p++ {
 			m.blockSizes[p] = uint32(len(blocks[l][p]))
 		}
+		byteScratch.Put(backing)
 	}
 
 	head := h.marshal()
@@ -142,17 +168,12 @@ func exactMaxDrop(ks []int32, nbv []uint32, used int) []uint32 {
 	if used == 0 || len(nbv) == 0 {
 		return maxDrop
 	}
-	const minChunk = 1 << 14
-	chunks := maxWorkers((len(nbv) + minChunk - 1) / minChunk)
-	partial := make([][]uint32, chunks)
-	per := (len(nbv) + chunks - 1) / chunks
+	chunks, per := chunkSpan(len(nbv), 1<<14, 1)
+	partial := make([][bitplane.Planes + 1]uint32, chunks)
 	ParallelFor(chunks, func(c int) {
 		lo := c * per
-		hi := lo + per
-		if hi > len(nbv) {
-			hi = len(nbv)
-		}
-		local := make([]uint32, used+1)
+		hi := min(lo+per, len(nbv))
+		local := &partial[c]
 		for i := lo; i < hi; i++ {
 			k := int64(ks[i])
 			u := nbv[i]
@@ -167,7 +188,6 @@ func exactMaxDrop(ks []int32, nbv []uint32, used int) []uint32 {
 				}
 			}
 		}
-		partial[c] = local
 	})
 	for _, local := range partial {
 		for d := 1; d <= used; d++ {

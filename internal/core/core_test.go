@@ -473,3 +473,31 @@ var errShort = errorString("short read")
 type errorString string
 
 func (e errorString) Error() string { return string(e) }
+
+// TestBytesSourceReadRangeOverflow ensures crafted offsets near MaxInt64
+// cannot overflow the bounds check into a panic or an out-of-range slice.
+func TestBytesSourceReadRangeOverflow(t *testing.T) {
+	src := bytesSource(make([]byte, 64))
+	cases := []struct {
+		off int64
+		n   int
+	}{
+		{math.MaxInt64 - 4, 64}, // off+n wraps negative
+		{math.MaxInt64, 1},
+		{-1, 4},
+		{0, -1},
+		{60, 5}, // straddles the end
+		{65, 0}, // past the end
+	}
+	for _, c := range cases {
+		if _, err := src.ReadRange(c.off, c.n); err == nil {
+			t.Errorf("ReadRange(%d, %d) did not fail", c.off, c.n)
+		}
+	}
+	if got, err := src.ReadRange(60, 4); err != nil || len(got) != 4 {
+		t.Errorf("valid tail read failed: %v", err)
+	}
+	if got, err := src.ReadRange(64, 0); err != nil || len(got) != 0 {
+		t.Errorf("empty read at end failed: %v", err)
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/interp"
+	"repro/internal/nb"
+	"repro/internal/quant"
+)
+
+// This file holds the fused pass kernels of the compress/decompress hot
+// path. The interpolation engine (internal/interp) hands out runs — batches
+// of target points sharing one prediction formula — and the kernels here
+// iterate them with the quantizer arithmetic inlined, instead of paying an
+// indirect VisitFunc call plus a non-inlinable quantizer call per point.
+//
+// Within one dimension pass every target depends only on points the pass
+// never writes, so shards of a pass execute concurrently and still produce
+// bit-identical output to the serial canonical order (the golden archive
+// tests pin this).
+
+// minShardTargets is the smallest number of pass targets worth handing to
+// one worker; below it the goroutine overhead beats the win.
+const minShardTargets = 4096
+
+// outlierAcc collects outlier escapes of one shard in sequence order.
+type outlierAcc struct {
+	idx []uint32
+	val []float64
+}
+
+// levelQuantizer fuses prediction and quantization for one compression
+// level: the exact same floating-point expressions as
+// quant.Quantizer.QuantizeReconstruct, evaluated over runs.
+type levelQuantizer struct {
+	work    []float64
+	step    float64
+	invStep float64
+	eb      float64
+}
+
+func newLevelQuantizer(work []float64, q quant.Quantizer) levelQuantizer {
+	return levelQuantizer{work: work, step: q.Step(), invStep: q.InvStep(), eb: q.ErrorBound()}
+}
+
+// quantizeLevel quantizes every point of level l against predictions from
+// the (lossy) work array, writing indices into ks (len = LevelCount(l)) and
+// appending outliers to m in canonical sequence order.
+func (e *levelQuantizer) quantizeLevel(dec *interp.Decomposition, l int, kind interp.Kind, ks []int32, m *levelMeta) {
+	passes := dec.LevelPasses(l)
+	for pi := range passes {
+		p := &passes[pi]
+		total := p.Targets()
+		if total == 0 {
+			continue
+		}
+		shards, per := chunkSpan(total, minShardTargets, 1)
+		if shards <= 1 {
+			var acc outlierAcc
+			e.quantizeRange(p, kind, 0, total, ks, &acc)
+			m.outlierIdx = append(m.outlierIdx, acc.idx...)
+			m.outlierVal = append(m.outlierVal, acc.val...)
+			continue
+		}
+		accs := make([]outlierAcc, shards)
+		ParallelFor(shards, func(sh int) {
+			lo := sh * per
+			hi := min(lo+per, total)
+			e.quantizeRange(p, kind, lo, hi, ks, &accs[sh])
+		})
+		// Shards cover ascending sequence ranges, so appending in shard
+		// order keeps the outlier table sorted by sequence index.
+		for i := range accs {
+			m.outlierIdx = append(m.outlierIdx, accs[i].idx...)
+			m.outlierVal = append(m.outlierVal, accs[i].val...)
+		}
+	}
+}
+
+func (e *levelQuantizer) quantizeRange(p *interp.Pass, kind interp.Kind, tLo, tHi int, ks []int32, acc *outlierAcc) {
+	w := e.work
+	step, invStep, eb := e.step, e.invStep, e.eb
+	p.VisitRuns(kind, tLo, tHi, func(r *interp.Run) {
+		f, seq, fstep := r.Flat, r.Seq, r.Step
+		for n := r.N; n > 0; n-- {
+			// Predict inlines (it is a small switch on the run's Mode, a
+			// loop-invariant and thus perfectly predicted branch), and the
+			// quantize-reconstruct arithmetic below is the exact expression
+			// sequence of quant.Quantizer.QuantizeReconstruct — kept as one
+			// copy so the bit-identity invariant has a single point of
+			// truth on this path.
+			pred := r.Predict(w, f)
+			orig := w[f]
+			qf := (orig - pred) * invStep
+			if qf >= -nb.MaxIndex && qf <= nb.MaxIndex {
+				k := int32(math.Round(qf))
+				recon := pred + float64(k)*step
+				if d := recon - orig; d <= eb && d >= -eb {
+					ks[seq] = k
+					w[f] = recon
+					seq++
+					f += fstep
+					continue
+				}
+			}
+			acc.idx = append(acc.idx, uint32(seq))
+			acc.val = append(acc.val, orig)
+			ks[seq] = 0
+			seq++
+			f += fstep
+		}
+	})
+}
+
+// applyLevel reconstructs level l into data (the retrieval side of the
+// fusion): prediction plus the dequantized truncated index, with outlier
+// positions restored to their exact stored values.
+func (a *Archive) applyLevel(data []float64, l int, ks []int32) {
+	m := a.h.metaOf(l)
+	step := a.quant.Step()
+	kind := a.h.kind
+	passes := a.dec.LevelPasses(l)
+	for pi := range passes {
+		p := &passes[pi]
+		parallelChunks(p.Targets(), minShardTargets, 1, func(tLo, tHi int) {
+			// Outlier positions are sorted by sequence index; each shard
+			// starts its cursor at the first index in its range.
+			seqStart := uint32(p.SeqOffset() + tLo)
+			oi := sort.Search(len(m.outlierIdx), func(i int) bool {
+				return m.outlierIdx[i] >= seqStart
+			})
+			outIdx, outVal := m.outlierIdx, m.outlierVal
+			p.VisitRuns(kind, tLo, tHi, func(r *interp.Run) {
+				f, seq, fstep := r.Flat, r.Seq, r.Step
+				for n := r.N; n > 0; n-- {
+					v := r.Predict(data, f) + float64(ks[seq])*step
+					if oi < len(outIdx) && outIdx[oi] == uint32(seq) {
+						v = outVal[oi]
+						oi++
+					}
+					data[f] = v
+					seq++
+					f += fstep
+				}
+			})
+		})
+	}
+}
+
+// propagateLevel runs one level of the delta-field propagation used by
+// refinement: prediction plus an optional per-point addend (nil means the
+// level gained no planes and contributes prediction only).
+func (a *Archive) propagateLevel(delta []float64, l int, addend []float64) {
+	kind := a.h.kind
+	passes := a.dec.LevelPasses(l)
+	for pi := range passes {
+		p := &passes[pi]
+		parallelChunks(p.Targets(), minShardTargets, 1, func(tLo, tHi int) {
+			p.VisitRuns(kind, tLo, tHi, func(r *interp.Run) {
+				f, seq, fstep := r.Flat, r.Seq, r.Step
+				if addend == nil {
+					for n := r.N; n > 0; n-- {
+						delta[f] = r.Predict(delta, f)
+						f += fstep
+					}
+					return
+				}
+				for n := r.N; n > 0; n-- {
+					delta[f] = r.Predict(delta, f) + addend[seq]
+					seq++
+					f += fstep
+				}
+			})
+		})
+	}
+}

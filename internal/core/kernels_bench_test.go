@@ -1,0 +1,38 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/interp"
+	"repro/internal/quant"
+)
+
+// BenchmarkQuantizeLevel measures the fused predict+quantize kernel over
+// the finest level of a 128³ grid — the dominant stage of Compress.
+func BenchmarkQuantizeLevel(b *testing.B) {
+	shape := grid.Shape{128, 128, 128}
+	dec, err := interp.NewDecomposition(shape)
+	if err != nil {
+		b.Fatal(err)
+	}
+	orig := make([]float64, shape.Len())
+	for i := range orig {
+		orig[i] = math.Sin(float64(i) * 1e-3)
+	}
+	work := make([]float64, len(orig))
+	ks := make([]int32, dec.LevelCount(1))
+	enc := newLevelQuantizer(work, quant.New(1e-6))
+	b.SetBytes(int64(len(ks) * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, orig)
+		var m levelMeta
+		enc.quantizeLevel(dec, 1, interp.Cubic, ks, &m)
+		if len(m.outlierIdx) != 0 {
+			b.Fatalf("unexpected outliers: %d", len(m.outlierIdx))
+		}
+	}
+}

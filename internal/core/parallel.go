@@ -56,6 +56,43 @@ func ParallelFor(n int, fn func(i int)) {
 	wg.Wait()
 }
 
+// chunkSpan computes the chunk layout shared by every range-sharding call
+// site: how many contiguous chunks [0, n) splits into (at least minChunk
+// elements each, starts aligned to align, a power of two) and the chunk
+// length. Callers that need per-chunk accumulators size them from the
+// returned count.
+func chunkSpan(n, minChunk, align int) (chunks, per int) {
+	chunks = maxWorkers((n + minChunk - 1) / minChunk)
+	if chunks <= 1 {
+		return 1, n
+	}
+	per = (n + chunks - 1) / chunks
+	per = (per + align - 1) &^ (align - 1)
+	return (n + per - 1) / per, per
+}
+
+// parallelChunks splits [0, n) per chunkSpan and runs fn(lo, hi) on the
+// worker pool. Small inputs run inline with a single chunk, so callers
+// need no serial special case.
+func parallelChunks(n, minChunk, align int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	chunks, per := chunkSpan(n, minChunk, align)
+	if chunks <= 1 {
+		fn(0, n)
+		return
+	}
+	ParallelFor(chunks, func(c int) {
+		lo := c * per
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}
+
 // ParallelForErr runs fn(i) for i in [0, n) on a bounded worker pool and
 // returns the first error encountered. Once any call fails, workers stop
 // picking up new indices (fail fast); indices already in flight finish.

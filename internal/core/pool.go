@@ -1,0 +1,63 @@
+package core
+
+import "sync"
+
+// SlicePool is a sync.Pool of slices of one element type. It backs the
+// scratch buffers of the compression/retrieval hot paths and is exported
+// so sibling packages (the chunked store's tile staging) share the same
+// pooling behavior instead of growing divergent copies.
+//
+// Get does not zero: users overwrite their buffers in full. Callers that
+// need zeroed memory use GetZeroed.
+type SlicePool[T any] struct{ p sync.Pool }
+
+// Get returns a length-n slice, reusing pooled capacity when possible.
+// Undersized entries are dropped, not re-Put: sync.Pool.Get pops the
+// P-private slot first, so a re-Put undersized buffer would shadow every
+// larger buffer behind it and turn Get into a permanent cache miss. Sizes
+// within one pool converge (pools are segmented by use), so a few pops
+// find a fit or the pool is effectively empty.
+func (sp *SlicePool[T]) Get(n int) []T {
+	for try := 0; try < 4; try++ {
+		v := sp.p.Get()
+		if v == nil {
+			break
+		}
+		if s := *(v.(*[]T)); cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]T, n)
+}
+
+// GetZeroed is Get plus a clear of the returned slice.
+func (sp *SlicePool[T]) GetZeroed(n int) []T {
+	s := sp.Get(n)
+	clear(s)
+	return s
+}
+
+// Put returns a slice to the pool; nil and zero-capacity slices are
+// dropped.
+func (sp *SlicePool[T]) Put(s []T) {
+	if cap(s) == 0 {
+		return
+	}
+	sp.p.Put(&s)
+}
+
+// The package-level pools are shared across levels, retrievals, and — via
+// the chunked store's tile workers, which run many Compress/Retrieve calls
+// at once — across tiles, so hot paths stop re-allocating per level and
+// per tile.
+// Pools are segmented by size class as well as element type: mixing
+// classes in one pool makes Get churn (small entries popped and dropped on
+// the way to a big one) and lets tiny reads pin huge buffers.
+var (
+	floatScratch  SlicePool[float64] // grid-length work arrays and delta fields
+	levelScratch  SlicePool[float64] // per-level refine deltas (vary by level)
+	int32Scratch  SlicePool[int32]   // quantization index backings
+	uint32Scratch SlicePool[uint32]  // negabinary value scratch (level-sized)
+	byteScratch   SlicePool[byte]    // bitplane backings (multi-MB class)
+	spanScratch   SlicePool[byte]    // block span reads (KB class)
+)

@@ -96,6 +96,22 @@ func (a *Archive) Retrieve(plan Plan) (*Result, error) {
 	}
 	for l := 1; l <= a.h.levels; l++ {
 		m := a.h.metaOf(l)
+		// The kernels below index level buffers by the decomposition's
+		// closed-form counts; an archive whose header disagrees is corrupt.
+		if want := a.dec.LevelCount(l); m.count != want {
+			return nil, fmt.Errorf("core: level %d has %d points, header says %d", l, want, m.count)
+		}
+		// The outlier cursors (applyLevel, RefineTo) assume a sorted,
+		// in-range table; reject corrupt headers here, once, so both the
+		// retrieval and refinement paths fail loudly instead of silently
+		// mis-reconstructing.
+		prev := -1
+		for _, oi := range m.outlierIdx {
+			if int(oi) >= m.count || int(oi) <= prev {
+				return nil, fmt.Errorf("core: level %d outlier table corrupt at index %d", l, oi)
+			}
+			prev = int(oi)
+		}
 		r.planes[l-1] = make([][]byte, m.usedPlanes)
 		r.trunc[l-1] = make([]int32, m.count)
 		// Non-progressive levels always load everything.
@@ -110,6 +126,7 @@ func (a *Archive) Retrieve(plan Plan) (*Result, error) {
 
 	// Algorithm 1: place anchors, then predict level by level, coarse to
 	// fine, adding each level's dequantized (possibly truncated) residual.
+	// Each level runs through the fused pass kernel, sharded across cores.
 	for i, idx := range a.dec.Anchors() {
 		if i >= len(a.h.anchors) {
 			return nil, fmt.Errorf("core: anchor table too short")
@@ -117,22 +134,7 @@ func (a *Archive) Retrieve(plan Plan) (*Result, error) {
 		r.data[idx] = a.h.anchors[i]
 	}
 	for l := a.h.levels; l >= 1; l-- {
-		ks := r.trunc[l-1]
-		m := a.h.metaOf(l)
-		seq := 0
-		oi := 0
-		a.dec.VisitLevel(r.data, l, a.h.kind, func(_ int, pred float64) float64 {
-			v := pred + a.quant.Dequantize(ks[seq])
-			if oi < len(m.outlierIdx) && m.outlierIdx[oi] == uint32(seq) {
-				v = m.outlierVal[oi]
-				oi++
-			}
-			seq++
-			return v
-		})
-		if seq != m.count {
-			return nil, fmt.Errorf("core: level %d visited %d points, header says %d", l, seq, m.count)
-		}
+		a.applyLevel(r.data, l, r.trunc[l-1])
 	}
 	return r, nil
 }
@@ -150,22 +152,30 @@ func (r *Result) loadPlanes(level, want int) error {
 	if want <= have {
 		return nil
 	}
-	// Read the block bytes sequentially (they are adjacent in the archive),
-	// then inflate them concurrently — blocks are independent.
+	// The blocks [have, want) are adjacent in the archive (plan-ordered
+	// layout), so they arrive as one span read — one syscall, one pooled
+	// buffer — then inflate concurrently; blocks are independent.
 	planeBytes := (m.count + 7) / 8
-	raw := make([][]byte, want)
+	spanLen := 0
 	for p := have; p < want; p++ {
-		blk, err := a.src.ReadRange(a.h.blockOff[level-1][p], int(m.blockSizes[p]))
-		if err != nil {
-			return err
-		}
-		raw[p] = blk
-		r.loadedBytes += int64(m.blockSizes[p])
+		spanLen += int(m.blockSizes[p])
+	}
+	raw, release, err := readSpan(a.src, a.h.blockOff[level-1][have], spanLen)
+	if err != nil {
+		return err
+	}
+	defer release()
+	r.loadedBytes += int64(spanLen)
+	blockAt := make([][]byte, want)
+	for p, cur := have, 0; p < want; p++ {
+		sz := int(m.blockSizes[p])
+		blockAt[p] = raw[cur : cur+sz]
+		cur += sz
 	}
 	var ferr firstError
 	ParallelFor(want-have, func(i int) {
 		p := have + i
-		plane, err := codec.DecodeBlock(raw[p], planeBytes)
+		plane, err := codec.DecodeBlock(blockAt[p], planeBytes)
 		if err != nil {
 			ferr.set(fmt.Errorf("core: level %d plane %d: %w", level, p, err))
 			return
@@ -177,20 +187,26 @@ func (r *Result) loadPlanes(level, want int) error {
 	}
 	// Undo the predictive XOR coding for the newly loaded planes only; the
 	// planes above them were decoded when they were loaded.
-	bitplane.PredictDecodeRange(r.planes[level-1], have, want)
+	parallelChunks(planeBytes, minShardTargets/8, 1, func(lo, hi int) {
+		bitplane.PredictDecodeRangeBytes(r.planes[level-1], have, want, lo, hi)
+	})
 
-	// Recompute the truncated indices from the loaded prefix.
-	full := make([][]byte, bitplane.Planes)
+	// Recompute the truncated indices from the loaded prefix: word-level
+	// merge plus negabinary decode, chunk-sharded over pooled scratch.
+	var full [bitplane.Planes][]byte
 	base := bitplane.Planes - m.usedPlanes
 	for p := 0; p < want; p++ {
 		full[base+p] = r.planes[level-1][p]
 	}
-	nbv := make([]uint32, m.count)
-	bitplane.MergeInto(nbv, full)
+	nbv := uint32Scratch.Get(m.count)
+	defer uint32Scratch.Put(nbv)
 	ks := r.trunc[level-1]
-	for i, u := range nbv {
-		ks[i] = nb.Decode32(u)
-	}
+	parallelChunks(m.count, minShardTargets, 8, func(lo, hi int) {
+		bitplane.MergeRange(nbv, full[:], lo, hi)
+		for i := lo; i < hi; i++ {
+			ks[i] = nb.Decode32(nbv[i])
+		}
+	})
 	r.plan.Keep[level-1] = want
 	return nil
 }
@@ -209,6 +225,13 @@ func (r *Result) RefineTo(plan Plan) error {
 	}
 	// Compute per-level residual deltas for levels that gain planes.
 	deltas := make([][]float64, a.h.levels)
+	defer func() {
+		for _, d := range deltas {
+			if d != nil {
+				levelScratch.Put(d)
+			}
+		}
+	}()
 	changedBelow := 0 // finest changed level, 0 = none
 	for l := 1; l <= a.h.prog; l++ {
 		m := a.h.metaOf(l)
@@ -217,17 +240,24 @@ func (r *Result) RefineTo(plan Plan) error {
 		if want <= have {
 			continue
 		}
-		old := make([]int32, m.count)
+		old := int32Scratch.Get(m.count)
 		copy(old, r.trunc[l-1])
 		if err := r.loadPlanes(l, want); err != nil {
+			int32Scratch.Put(old)
 			return err
 		}
-		d := make([]float64, m.count)
-		for i := range d {
-			d[i] = a.quant.Dequantize(r.trunc[l-1][i] - old[i])
-		}
+		d := levelScratch.Get(m.count)
+		ks := r.trunc[l-1]
+		step := a.quant.Step()
+		parallelChunks(m.count, minShardTargets, 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				d[i] = float64(ks[i]-old[i]) * step
+			}
+		})
+		int32Scratch.Put(old)
 		// Outlier positions carry exact values already; their index delta
-		// must not perturb them.
+		// must not perturb them. The table was validated (sorted, in-range)
+		// when Retrieve created this result.
 		for _, oi := range m.outlierIdx {
 			d[oi] = 0
 		}
@@ -242,24 +272,19 @@ func (r *Result) RefineTo(plan Plan) error {
 	// Propagate the deltas through the interpolation hierarchy: the
 	// predictor is linear, so reconstructing the delta field and adding it
 	// is equivalent (up to floating-point rounding) to a fresh retrieval.
-	delta := make([]float64, len(r.data))
+	delta := floatScratch.GetZeroed(len(r.data))
+	defer floatScratch.Put(delta)
 	for l := changedBelow; l >= 1; l-- {
-		dl := deltas[l-1]
-		seq := 0
-		a.dec.VisitLevel(delta, l, a.h.kind, func(_ int, pred float64) float64 {
-			v := pred
-			if dl != nil {
-				v += dl[seq]
+		a.propagateLevel(delta, l, deltas[l-1])
+	}
+	data := r.data
+	parallelChunks(len(data), minShardTargets, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if dv := delta[i]; dv != 0 {
+				data[i] += dv
 			}
-			seq++
-			return v
-		})
-	}
-	for i, dv := range delta {
-		if dv != 0 {
-			r.data[i] += dv
 		}
-	}
+	})
 	return nil
 }
 

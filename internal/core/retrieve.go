@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
@@ -24,8 +25,10 @@ type BlockSource interface {
 type bytesSource []byte
 
 func (b bytesSource) ReadRange(off int64, n int) ([]byte, error) {
-	if off < 0 || off+int64(n) > int64(len(b)) {
-		return nil, fmt.Errorf("core: read [%d,%d) outside archive of %d bytes", off, off+int64(n), len(b))
+	// Phrased as a subtraction so a crafted offset near math.MaxInt64
+	// cannot overflow off+n into a small value and sneak past the check.
+	if n < 0 || off < 0 || off > int64(len(b)) || int64(n) > int64(len(b))-off {
+		return nil, fmt.Errorf("core: read %d bytes at %d outside archive of %d bytes", n, off, len(b))
 	}
 	return b[off : off+int64(n)], nil
 }
@@ -41,13 +44,46 @@ type readerAtSource struct {
 
 func (s *readerAtSource) ReadRange(off int64, n int) ([]byte, error) {
 	buf := make([]byte, n)
-	if _, err := s.r.ReadAt(buf, off); err != nil {
+	if err := s.ReadRangeInto(buf, off); err != nil {
 		return nil, err
 	}
 	return buf, nil
 }
 
+// ReadRangeInto fills a caller-owned buffer, letting hot paths reuse pooled
+// scratch for transient reads (see readSpan).
+func (s *readerAtSource) ReadRangeInto(dst []byte, off int64) error {
+	_, err := s.r.ReadAt(dst, off)
+	return err
+}
+
 func (s *readerAtSource) Size() int64 { return s.size }
+
+// rangeIntoReader is the optional BlockSource extension for reading into a
+// caller-owned buffer.
+type rangeIntoReader interface {
+	ReadRangeInto(dst []byte, off int64) error
+}
+
+// readSpan reads [off, off+n) from src, preferring a pooled buffer when the
+// source supports caller-owned reads. The returned release func must be
+// called once the bytes are no longer referenced; the in-memory source
+// returns a zero-copy subslice with a no-op release.
+func readSpan(src BlockSource, off int64, n int) ([]byte, func(), error) {
+	if ir, ok := src.(rangeIntoReader); ok {
+		buf := spanScratch.Get(n)
+		if err := ir.ReadRangeInto(buf, off); err != nil {
+			spanScratch.Put(buf)
+			return nil, nil, err
+		}
+		return buf, func() { spanScratch.Put(buf) }, nil
+	}
+	raw, err := src.ReadRange(off, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	return raw, func() {}, nil
+}
 
 // Archive provides progressive access to one compressed dataset.
 type Archive struct {
@@ -81,7 +117,7 @@ func NewArchiveFrom(src BlockSource) (*Archive, error) {
 	}
 	// Guard with a subtraction, not hlen+8: a crafted length near 2^63
 	// would overflow the addition and reach make() with a huge size.
-	hlen := int64(leUint64(pre))
+	hlen := int64(binary.LittleEndian.Uint64(pre))
 	if hlen <= 0 || hlen > src.Size()-8 {
 		return nil, fmt.Errorf("core: implausible header length %d", hlen)
 	}
@@ -113,14 +149,6 @@ func NewArchiveFrom(src BlockSource) (*Archive, error) {
 	}
 	a.weight = boundWeights(h, a.mode)
 	return a, nil
-}
-
-func leUint64(b []byte) uint64 {
-	var v uint64
-	for i := 7; i >= 0; i-- {
-		v = v<<8 | uint64(b[i])
-	}
-	return v
 }
 
 // SetBoundMode switches between the conservative (default) and the paper's

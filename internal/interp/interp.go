@@ -95,12 +95,17 @@ func (d *Decomposition) Anchors() []int {
 }
 
 // LevelCount returns the number of points belonging to level l (1-based).
+// The count is closed-form over the pass geometry — no walk happens.
 func (d *Decomposition) LevelCount(l int) int {
+	s := 1 << uint(l-1)
 	count := 0
-	d.VisitLevel(nil, l, Linear, func(idx int, pred float64) float64 {
-		count++
-		return 0
-	})
+	for dim := 0; dim < len(d.shape); dim++ {
+		passTotal := 1
+		for j := 0; j < len(d.shape); j++ {
+			passTotal *= passIterations(d.shape[j], s, j, dim)
+		}
+		count += passTotal
+	}
 	return count
 }
 
@@ -111,57 +116,26 @@ type VisitFunc func(idx int, pred float64) float64
 // VisitLevel runs all dimension passes of level l (stride 2^(l-1)) over data
 // in canonical order. When data is nil the predictions are reported as zero
 // and nothing is stored — used only for counting.
+//
+// This is a compatibility shim over the batched run engine (see runs.go);
+// hot paths iterate runs directly instead of paying a call per point.
 func (d *Decomposition) VisitLevel(data []float64, l int, kind Kind, fn VisitFunc) {
-	s := 1 << uint(l-1)
-	nd := len(d.shape)
-	for dim := 0; dim < nd; dim++ {
-		d.visitPass(data, s, dim, kind, fn)
+	for _, p := range d.LevelPasses(l) {
+		p.VisitRuns(kind, 0, p.Targets(), func(r *Run) {
+			f := r.Flat
+			for i := 0; i < r.N; i++ {
+				pred := 0.0
+				if data != nil {
+					pred = r.Predict(data, f)
+				}
+				v := fn(f, pred)
+				if data != nil {
+					data[f] = v
+				}
+				f += r.Step
+			}
+		})
 	}
-}
-
-// visitPass predicts the points of one dimension pass: coordinate along dim
-// is an odd multiple of s, coordinates along earlier dimensions are
-// multiples of s, and along later dimensions multiples of 2s.
-func (d *Decomposition) visitPass(data []float64, s, dim int, kind Kind, fn VisitFunc) {
-	nd := len(d.shape)
-	steps := make([]coordStep, nd)
-	for j := 0; j < nd; j++ {
-		switch {
-		case j < dim:
-			steps[j] = coordStep{start: 0, step: s, limit: d.shape[j]}
-		case j == dim:
-			steps[j] = coordStep{start: s, step: 2 * s, limit: d.shape[j]}
-		default:
-			steps[j] = coordStep{start: 0, step: 2 * s, limit: d.shape[j]}
-		}
-	}
-	dimExtent := d.shape[dim]
-	dimStride := d.strides[dim]
-	d.iterateWithCoord(steps, dim, func(flat, c int) {
-		pred := 0.0
-		if data != nil {
-			pred = predict1D(data, flat, c, s, dimStride, dimExtent, kind)
-		}
-		v := fn(flat, pred)
-		if data != nil {
-			data[flat] = v
-		}
-	})
-}
-
-// predict1D computes the interpolation prediction for the point at flat
-// index with coordinate c along the active dimension. c-s always exists
-// (c >= s by construction); the rest depends on the boundary.
-func predict1D(data []float64, flat, c, s, stride, extent int, kind Kind) float64 {
-	if c+s >= extent {
-		// No right neighbour: copy the left one.
-		return data[flat-s*stride]
-	}
-	if kind == Cubic && c-3*s >= 0 && c+3*s < extent {
-		return (-data[flat-3*s*stride] + 9*data[flat-s*stride] +
-			9*data[flat+s*stride] - data[flat+3*s*stride]) / 16
-	}
-	return 0.5 * (data[flat-s*stride] + data[flat+s*stride])
 }
 
 type coordStep struct {
@@ -177,33 +151,22 @@ func coordSteps(shape grid.Shape, step int) []coordStep {
 }
 
 // iterate walks the Cartesian product of the step ranges in lexicographic
-// order, reporting flat indices.
+// order, reporting flat indices. Only the (coarse, rare) anchor enumeration
+// uses it; level walks go through the run engine.
 func (d *Decomposition) iterate(steps []coordStep, fn func(flat int)) {
-	d.iterateWithCoord(steps, -1, func(flat, _ int) { fn(flat) })
-}
-
-// iterateWithCoord additionally reports the coordinate along watchDim
-// (or 0 when watchDim < 0). Supports 1..4 dimensions with explicit loops:
-// the rank is small and fixed, and explicit loops keep the per-point cost
-// down on the compression hot path.
-func (d *Decomposition) iterateWithCoord(steps []coordStep, watchDim int, fn func(flat, c int)) {
 	st := d.strides
 	switch len(steps) {
 	case 1:
 		s0 := steps[0]
 		for c0 := s0.start; c0 < s0.limit; c0 += s0.step {
-			fn(c0*st[0], c0)
+			fn(c0 * st[0])
 		}
 	case 2:
 		s0, s1 := steps[0], steps[1]
 		for c0 := s0.start; c0 < s0.limit; c0 += s0.step {
 			base0 := c0 * st[0]
 			for c1 := s1.start; c1 < s1.limit; c1 += s1.step {
-				c := c0
-				if watchDim == 1 {
-					c = c1
-				}
-				fn(base0+c1*st[1], c)
+				fn(base0 + c1*st[1])
 			}
 		}
 	case 3:
@@ -213,14 +176,7 @@ func (d *Decomposition) iterateWithCoord(steps []coordStep, watchDim int, fn fun
 			for c1 := s1.start; c1 < s1.limit; c1 += s1.step {
 				base1 := base0 + c1*st[1]
 				for c2 := s2.start; c2 < s2.limit; c2 += s2.step {
-					c := c0
-					switch watchDim {
-					case 1:
-						c = c1
-					case 2:
-						c = c2
-					}
-					fn(base1+c2*st[2], c)
+					fn(base1 + c2*st[2])
 				}
 			}
 		}
@@ -233,16 +189,7 @@ func (d *Decomposition) iterateWithCoord(steps []coordStep, watchDim int, fn fun
 				for c2 := s2.start; c2 < s2.limit; c2 += s2.step {
 					base2 := base1 + c2*st[2]
 					for c3 := s3.start; c3 < s3.limit; c3 += s3.step {
-						c := c0
-						switch watchDim {
-						case 1:
-							c = c1
-						case 2:
-							c = c2
-						case 3:
-							c = c3
-						}
-						fn(base2+c3*st[3], c)
+						fn(base2 + c3*st[3])
 					}
 				}
 			}

@@ -36,15 +36,21 @@ func (q Quantizer) ErrorBound() float64 { return q.eb }
 // Step returns the bin width 2·eb.
 func (q Quantizer) Step() float64 { return q.step }
 
+// InvStep returns 1/Step, for callers that fuse the quantization
+// arithmetic into their own hot loops.
+func (q Quantizer) InvStep() float64 { return q.invStep }
+
 // Quantize maps a residual to its index. ok is false when the residual is
 // not representable (index outside the safe window, or non-finite input);
 // the caller must then store the original value losslessly.
+//
+// The window test is phrased as a single negated range check so that NaN
+// and infinite inputs fall through it (comparisons with NaN are false) and
+// the whole function stays within the compiler's inlining budget — this is
+// the innermost operation of the compression hot path.
 func (q Quantizer) Quantize(y float64) (k int32, ok bool) {
-	if math.IsNaN(y) || math.IsInf(y, 0) {
-		return 0, false
-	}
 	f := y * q.invStep
-	if f > nb.MaxIndex || f < -nb.MaxIndex {
+	if !(f >= -nb.MaxIndex && f <= nb.MaxIndex) {
 		return 0, false
 	}
 	return int32(math.Round(f)), true
@@ -61,11 +67,14 @@ func (q Quantizer) Dequantize(k int32) float64 {
 // original, so that decompression sees identical predictions. ok is false on
 // outlier escape, in which case recon equals the original value exactly.
 func (q Quantizer) QuantizeReconstruct(orig, pred float64) (k int32, recon float64, ok bool) {
-	k, ok = q.Quantize(orig - pred)
-	if !ok {
+	f := (orig - pred) * q.invStep
+	if !(f >= -nb.MaxIndex && f <= nb.MaxIndex) {
+		// Outside the safe negabinary window, or non-finite (NaN compares
+		// false): escape through the outlier path.
 		return 0, orig, false
 	}
-	recon = pred + q.Dequantize(k)
+	k = int32(math.Round(f))
+	recon = pred + float64(k)*q.step
 	// Floating-point rounding in pred + k*step can nudge the result just
 	// outside the bound for extreme magnitudes; fall back to the outlier
 	// path in that case to keep the guarantee unconditional.

@@ -1,0 +1,9 @@
+package store
+
+import "repro/internal/core"
+
+// tileScratch pools the per-tile staging buffers of Writer.AddGrid, on the
+// same SlicePool that backs core's own scratch. Tiles of one dataset share
+// a shape, so the pooled buffers converge to the tile size and pack jobs
+// stop allocating a fresh sub-grid per chunk.
+var tileScratch core.SlicePool[float64]

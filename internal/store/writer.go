@@ -84,7 +84,9 @@ func (w *Writer) AddGrid(name string, g *grid.Grid, opt WriteOptions) error {
 	}
 
 	// Fan the tiles out across the worker pool; any chunk error aborts the
-	// whole dataset.
+	// whole dataset. Tile staging buffers come from a pool shared across
+	// workers and datasets: copyRegion overwrites the full box and Compress
+	// copies it into its own scratch, so reuse is safe.
 	blobs := make([][]byte, til.n)
 	err = core.ParallelForErr(til.n, func(i int) error {
 		lo, hi := til.box(i)
@@ -92,7 +94,9 @@ func (w *Writer) AddGrid(name string, g *grid.Grid, opt WriteOptions) error {
 		for d := range lo {
 			shape[d] = hi[d] - lo[d]
 		}
-		sub, err := grid.New(shape)
+		buf := tileScratch.Get(shape.Len())
+		defer tileScratch.Put(buf)
+		sub, err := grid.FromSlice(buf, shape)
 		if err != nil {
 			return err
 		}

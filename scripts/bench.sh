@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# bench.sh — run the perf-tracked benchmark suites (Fig8 speed, chunked
+# store, bitplane transpose, interp/quantize microbenchmarks) and emit a
+# machine-readable BENCH_2.json mapping benchmark name to ns/op, B/op and
+# allocs/op, so the repo's perf trajectory is recorded per PR.
+#
+#   ./scripts/bench.sh                    # full run, writes BENCH_2.json
+#   BENCHTIME=1x OUT=/dev/null ./scripts/bench.sh   # CI smoke: one iteration
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+OUT="${OUT:-BENCH_2.json}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+run() { # run <package> <bench regex>
+  go test -run '^$' -bench "$2" -benchmem -benchtime "$BENCHTIME" "$1" | tee -a "$tmp"
+}
+
+run .               'BenchmarkFig8CompressIPComp$|BenchmarkFig8DecompressIPComp$|BenchmarkStorePack$|BenchmarkStoreRegion$|BenchmarkStoreExtract$|BenchmarkBitplaneSplit$|BenchmarkBitplaneSplitAlloc$|BenchmarkBitplaneMerge$'
+run ./internal/interp 'BenchmarkInterpPass$|BenchmarkVisitLevelShim$'
+run ./internal/core   'BenchmarkQuantizeLevel$'
+
+awk -v cpus="$(nproc)" '
+/^Benchmark/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+  ns = ""; bop = ""; aop = ""
+  for (i = 2; i <= NF; i++) {
+    if ($i == "ns/op")      ns  = $(i-1)
+    if ($i == "B/op")       bop = $(i-1)
+    if ($i == "allocs/op")  aop = $(i-1)
+  }
+  if (ns != "") { names[++n] = name; nss[n] = ns; bops[n] = bop; aops[n] = aop }
+}
+END {
+  printf("{\n  \"cpus\": %d,\n  \"benchmarks\": {\n", cpus)
+  for (i = 1; i <= n; i++) {
+    printf("    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n",
+           names[i], nss[i], bops[i] == "" ? "null" : bops[i],
+           aops[i] == "" ? "null" : aops[i], i < n ? "," : "")
+  }
+  printf("  }\n}\n")
+}' "$tmp" > "$OUT"
+
+echo "wrote $OUT"
