@@ -40,7 +40,7 @@ import (
 // benchDivisor keeps benchmark datasets at 1/8 of the paper's linear size.
 const benchDivisor = 8
 
-func benchField(b *testing.B, name string) *grid.Grid {
+func benchField(b *testing.B, name string) *grid.Grid[float64] {
 	b.Helper()
 	ds, err := datagen.Generate(name, benchDivisor)
 	if err != nil {
@@ -217,6 +217,121 @@ func BenchmarkFig8DecompressIPComp(b *testing.B) {
 	}
 }
 
+// ---- scalar-width comparison: native float32 vs float64 ----
+
+// scalarBenchGrids returns the same 128³ field at both widths with one
+// shared error bound. The shape is deliberately larger than the figure
+// benchmarks' 1/8-scale fields: at 2M elements the work arrays no longer
+// fit in cache, so the float32 engine's halved memory traffic is actually
+// measurable. The bound is 1e-4 of the range — comfortably above float32's
+// ~1e-7 representational precision, where a width comparison is fair
+// (near the precision floor float32 pays for outlier escapes that float64
+// does not).
+func scalarBenchGrids(b *testing.B) (*grid.Grid[float64], *grid.Grid[float32], float64) {
+	b.Helper()
+	g64, err := datagen.GenerateShape("Density", grid.Shape{128, 128, 128})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g64, grid.Narrow(g64), 1e-4 * g64.ValueRange()
+}
+
+// BenchmarkScalarCompress compresses the same grid shape at both scalar
+// widths: the float32 kernels must win on ns/op (native 4-byte arithmetic,
+// half the bandwidth through every pass). B/op ties by construction — the
+// output blob dominates compression's allocation and its size is
+// width-independent.
+func BenchmarkScalarCompress(b *testing.B) {
+	g64, g32, eb := scalarBenchGrids(b)
+	b.Run("f64", func(b *testing.B) {
+		b.SetBytes(int64(g64.Len() * 8))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Compress(g64, core.Options{ErrorBound: eb, Interpolation: interp.Cubic}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("f32", func(b *testing.B) {
+		b.SetBytes(int64(g32.Len() * 4))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Compress(g32, core.Options{ErrorBound: eb, Interpolation: interp.Cubic}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkScalarDecompress mirrors BenchmarkScalarCompress for the
+// full-fidelity retrieval path; float32 must win on both ns/op and B/op
+// (the reconstruction array is half the bytes).
+func BenchmarkScalarDecompress(b *testing.B) {
+	g64, g32, eb := scalarBenchGrids(b)
+	blob64, err := core.Compress(g64, core.Options{ErrorBound: eb, Interpolation: interp.Cubic})
+	if err != nil {
+		b.Fatal(err)
+	}
+	blob32, err := core.Compress(g32, core.Options{ErrorBound: eb, Interpolation: interp.Cubic})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(blob []byte, elemBytes int) func(*testing.B) {
+		return func(b *testing.B) {
+			b.SetBytes(int64(g64.Len() * elemBytes))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a, err := core.NewArchive(blob)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := a.RetrieveAll(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("f64", run(blob64, 8))
+	b.Run("f32", run(blob32, 4))
+}
+
+// BenchmarkScalarRoundTrip is the headline same-shape comparison: one
+// compress plus one full-fidelity decompress per iteration. Native float32
+// beats float64 on both time per operation and bytes allocated.
+func BenchmarkScalarRoundTrip(b *testing.B) {
+	g64, g32, eb := scalarBenchGrids(b)
+	b.Run("f64", func(b *testing.B) {
+		b.SetBytes(int64(g64.Len() * 8))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			blob, err := core.Compress(g64, core.Options{ErrorBound: eb, Interpolation: interp.Cubic})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := core.Decompress(blob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("f32", func(b *testing.B) {
+		b.SetBytes(int64(g32.Len() * 4))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			blob, err := core.Compress(g32, core.Options{ErrorBound: eb, Interpolation: interp.Cubic})
+			if err != nil {
+				b.Fatal(err)
+			}
+			a, err := core.NewArchive(blob)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := a.RetrieveAll(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // ---- Figure 9: residual count scaling ----
 
 func BenchmarkFig9ResidualCount(b *testing.B) {
@@ -390,7 +505,7 @@ func BenchmarkRefinementVsFresh(b *testing.B) {
 
 // ---- chunked store: tiled parallel compression + ROI retrieval ----
 
-func storeField(b *testing.B, shape []int) *grid.Grid {
+func storeField(b *testing.B, shape []int) *grid.Grid[float64] {
 	b.Helper()
 	g, err := datagen.GenerateShape("Density", grid.Shape(shape))
 	if err != nil {
@@ -437,7 +552,7 @@ func BenchmarkStorePack(b *testing.B) {
 	}
 }
 
-func storeBlob(b *testing.B, g *grid.Grid, eb float64) []byte {
+func storeBlob(b *testing.B, g *grid.Grid[float64], eb float64) []byte {
 	b.Helper()
 	var buf bytes.Buffer
 	sw, err := ipcomp.NewStoreWriter(&buf)
@@ -501,6 +616,66 @@ func BenchmarkStoreExtract(b *testing.B) {
 	eb := 1e-6 * g.ValueRange()
 	blob := storeBlob(b, g, eb)
 	b.SetBytes(int64(g.Len() * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := ipcomp.OpenStore(bytes.NewReader(blob), int64(len(blob)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.SetCacheBytes(0)
+		if _, err := s.RetrieveDataset("field", 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStorePackF32 packs the float32 narrowing of the 128³ field at
+// the same absolute bound as BenchmarkStorePack's chunked case — the
+// native f32 tile pipeline must beat it on time and allocation.
+func BenchmarkStorePackF32(b *testing.B) {
+	g := storeField(b, []int{128, 128, 128})
+	eb := 1e-6 * g.ValueRange()
+	g32 := grid.Narrow(g)
+	b.SetBytes(int64(g32.Len() * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		sw, err := ipcomp.NewStoreWriter(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sw.AddFloat32("field", g32.Data(), g32.Shape(), ipcomp.StoreOptions{
+			ErrorBound: eb, ChunkShape: []int{64, 64, 64},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if err := sw.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreExtractF32 is the float32 twin of BenchmarkStoreExtract:
+// whole-dataset reconstruction through the chunked parallel path.
+func BenchmarkStoreExtractF32(b *testing.B) {
+	g := storeField(b, []int{128, 128, 128})
+	eb := 1e-6 * g.ValueRange()
+	g32 := grid.Narrow(g)
+	var buf bytes.Buffer
+	sw, err := ipcomp.NewStoreWriter(&buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sw.AddFloat32("field", g32.Data(), g32.Shape(), ipcomp.StoreOptions{ErrorBound: eb}); err != nil {
+		b.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	blob := buf.Bytes()
+	b.SetBytes(int64(g32.Len() * 4))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s, err := ipcomp.OpenStore(bytes.NewReader(blob), int64(len(blob)))

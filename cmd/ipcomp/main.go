@@ -1,20 +1,24 @@
 // Command ipcomp compresses, decompresses, and progressively retrieves
-// raw little-endian float64 arrays with the IPComp algorithm.
+// raw little-endian float32/float64 arrays with the IPComp algorithm.
 //
 // Usage:
 //
-//	ipcomp compress   -in data.f64 -shape 256x384x384 -eb 1e-6 [-rel] [-interp cubic] -out data.ipc
-//	ipcomp decompress -in data.ipc -out recon.f64
-//	ipcomp retrieve   -in data.ipc (-bound 1e-3 | -bitrate 2.0) -out recon.f64
+//	ipcomp compress   -in data.f64 -shape 256x384x384 -eb 1e-6 [-rel] [-interp cubic] [-dtype f32] -out data.ipc
+//	ipcomp decompress -in data.ipc -out recon.f64 [-dtype f32]
+//	ipcomp retrieve   -in data.ipc (-bound 1e-3 | -bitrate 2.0) -out recon.f64 [-dtype f32]
 //	ipcomp info       -in data.ipc
-//	ipcomp gen        -dataset Density -divisor 4 -out density.f64   (synthetic data)
+//	ipcomp gen        -dataset Density -divisor 4 [-dtype f32] -out density.f64   (synthetic data)
+//
+// The -dtype flag selects the raw file's element width: f32 files compress
+// natively into version-2 archives (no offline widening), and readers
+// default to the archive's own scalar type.
 //
 // Chunked multi-dataset containers (region-of-interest retrieval):
 //
-//	ipcomp store pack    -out c.ipcs -eb 1e-6 -rel density=density.f64:64x96x96 ...
+//	ipcomp store pack    -out c.ipcs -eb 1e-6 -rel [-dtype f32] density=density.f32:64x96x96 ...
 //	ipcomp store ls      -in c.ipcs
-//	ipcomp store extract -in c.ipcs -dataset density -bound 1e-3 -out recon.f64
-//	ipcomp store region  -in c.ipcs -dataset density -lo 0,0,0 -hi 32,32,32 -out roi.f64
+//	ipcomp store extract -in c.ipcs -dataset density -bound 1e-3 -out recon.f64 [-dtype f32]
+//	ipcomp store region  -in c.ipcs -dataset density -lo 0,0,0 -hi 32,32,32 -out roi.f64 [-dtype f32]
 //
 // retrieve opens the archive through io.ReaderAt and reads only the byte
 // ranges its loading plan selects, so the bytes-read figure it prints is a
@@ -31,6 +35,7 @@ import (
 	"strings"
 
 	"repro/internal/datagen"
+	"repro/internal/grid"
 	"repro/ipcomp"
 )
 
@@ -93,17 +98,56 @@ func parseShape(s string) ([]int, error) {
 	return shape, nil
 }
 
-func readFloats(path string) ([]float64, error) {
+// parseDtype maps a -dtype flag value to a scalar type; the empty string
+// selects def (the input default for writers, the archive's native type
+// for readers).
+func parseDtype(s string, def ipcomp.ScalarType) (ipcomp.ScalarType, error) {
+	switch s {
+	case "":
+		return def, nil
+	case "f32", "float32":
+		return ipcomp.Float32, nil
+	case "f64", "float64":
+		return ipcomp.Float64, nil
+	default:
+		return 0, fmt.Errorf("unknown dtype %q (want f32 or f64)", s)
+	}
+}
+
+// readRaw loads a raw little-endian array file, rejecting — never silently
+// truncating — inputs whose size is not a whole number of elements.
+func readRaw(path string, width int) ([]byte, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	if len(raw)%8 != 0 {
-		return nil, fmt.Errorf("%s: size %d is not a multiple of 8", path, len(raw))
+	if rem := len(raw) % width; rem != 0 {
+		return nil, fmt.Errorf("%s: size %d is not a multiple of the %d-byte element width (%d trailing bytes)",
+			path, len(raw), width, rem)
+	}
+	return raw, nil
+}
+
+func readFloats(path string) ([]float64, error) {
+	raw, err := readRaw(path, 8)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]float64, len(raw)/8)
 	for i := range out {
 		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	return out, nil
+}
+
+func readFloats32(path string) ([]float32, error) {
+	raw, err := readRaw(path, 4)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float32, len(raw)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
 	}
 	return out, nil
 }
@@ -116,14 +160,46 @@ func writeFloats(path string, data []float64) error {
 	return os.WriteFile(path, raw, 0o644)
 }
 
+func writeFloats32(path string, data []float32) error {
+	raw := make([]byte, len(data)*4)
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(raw[i*4:], math.Float32bits(v))
+	}
+	return os.WriteFile(path, raw, 0o644)
+}
+
+// floatSource is the accessor pair shared by *ipcomp.Result and
+// *ipcomp.Region: reconstructed values at either width.
+type floatSource interface {
+	Data() []float64
+	DataFloat32() []float32
+}
+
+// writeAtWidth writes a reconstruction as raw little-endian floats of the
+// requested element width — the single output path of every read command.
+func writeAtWidth(path string, src floatSource, dtype ipcomp.ScalarType) error {
+	if dtype == ipcomp.Float32 {
+		return writeFloats32(path, src.DataFloat32())
+	}
+	return writeFloats(path, src.Data())
+}
+
+// rawFloats adapts a bare float64 slice (gen's synthetic output) to the
+// floatSource shape.
+type rawFloats []float64
+
+func (r rawFloats) Data() []float64        { return r }
+func (r rawFloats) DataFloat32() []float32 { return grid.NarrowSlice([]float64(r)) }
+
 func cmdCompress(args []string) error {
 	fs := flag.NewFlagSet("compress", flag.ExitOnError)
-	in := fs.String("in", "", "input raw float64 file")
+	in := fs.String("in", "", "input raw float file (element width set by -dtype)")
 	out := fs.String("out", "", "output archive")
 	shapeStr := fs.String("shape", "", "dimensions, e.g. 256x384x384")
 	eb := fs.Float64("eb", 1e-6, "error bound")
 	rel := fs.Bool("rel", false, "interpret -eb relative to the value range")
 	interpName := fs.String("interp", "cubic", "interpolation: linear|cubic")
+	dtypeStr := fs.String("dtype", "f64", "input element type: f32|f64")
 	fs.Parse(args)
 	if *in == "" || *out == "" || *shapeStr == "" {
 		return fmt.Errorf("compress requires -in, -out, -shape")
@@ -132,7 +208,7 @@ func cmdCompress(args []string) error {
 	if err != nil {
 		return err
 	}
-	data, err := readFloats(*in)
+	dtype, err := parseDtype(*dtypeStr, ipcomp.Float64)
 	if err != nil {
 		return err
 	}
@@ -140,27 +216,44 @@ func cmdCompress(args []string) error {
 	if err != nil {
 		return err
 	}
-	blob, err := ipcomp.Compress(data, shape, ipcomp.Options{
-		ErrorBound:    *eb,
-		Relative:      *rel,
-		Interpolation: kind,
-	})
-	if err != nil {
-		return err
+	opt := ipcomp.Options{ErrorBound: *eb, Relative: *rel, Interpolation: kind}
+	var blob []byte
+	var n, rawBytes int
+	if dtype == ipcomp.Float32 {
+		data, err := readFloats32(*in)
+		if err != nil {
+			return err
+		}
+		n, rawBytes = len(data), len(data)*4
+		blob, err = ipcomp.CompressFloat32(data, shape, opt)
+		if err != nil {
+			return err
+		}
+	} else {
+		data, err := readFloats(*in)
+		if err != nil {
+			return err
+		}
+		n, rawBytes = len(data), len(data)*8
+		blob, err = ipcomp.Compress(data, shape, opt)
+		if err != nil {
+			return err
+		}
 	}
 	if err := os.WriteFile(*out, blob, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("compressed %d values -> %d bytes (CR %.2f, %.3f bits/value)\n",
-		len(data), len(blob), float64(len(data)*8)/float64(len(blob)),
-		float64(len(blob))*8/float64(len(data)))
+	fmt.Printf("compressed %d %s values -> %d bytes (CR %.2f, %.3f bits/value)\n",
+		n, dtype, len(blob), float64(rawBytes)/float64(len(blob)),
+		float64(len(blob))*8/float64(n))
 	return nil
 }
 
 func cmdDecompress(args []string) error {
 	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
 	in := fs.String("in", "", "input archive")
-	out := fs.String("out", "", "output raw float64 file")
+	out := fs.String("out", "", "output raw float file")
+	dtypeStr := fs.String("dtype", "", "output element type: f32|f64 (default: the archive's)")
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		return fmt.Errorf("decompress requires -in and -out")
@@ -169,23 +262,33 @@ func cmdDecompress(args []string) error {
 	if err != nil {
 		return err
 	}
-	data, shape, err := ipcomp.Decompress(blob)
+	arch, err := ipcomp.Open(blob)
 	if err != nil {
 		return err
 	}
-	if err := writeFloats(*out, data); err != nil {
+	dtype, err := parseDtype(*dtypeStr, arch.Scalar())
+	if err != nil {
 		return err
 	}
-	fmt.Printf("decompressed %d values (shape %v) at full fidelity\n", len(data), shape)
+	res, err := arch.RetrieveAll()
+	if err != nil {
+		return err
+	}
+	if err := writeAtWidth(*out, res, dtype); err != nil {
+		return err
+	}
+	fmt.Printf("decompressed %d %s values (shape %v) at full fidelity\n",
+		arch.NumElements(), dtype, arch.Shape())
 	return nil
 }
 
 func cmdRetrieve(args []string) error {
 	fs := flag.NewFlagSet("retrieve", flag.ExitOnError)
 	in := fs.String("in", "", "input archive")
-	out := fs.String("out", "", "output raw float64 file")
+	out := fs.String("out", "", "output raw float file")
 	bound := fs.Float64("bound", 0, "error-bound mode: absolute L-inf bound")
 	bitrate := fs.Float64("bitrate", 0, "fixed-rate mode: bits per value to load")
+	dtypeStr := fs.String("dtype", "", "output element type: f32|f64 (default: the archive's)")
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		return fmt.Errorf("retrieve requires -in and -out")
@@ -206,6 +309,10 @@ func cmdRetrieve(args []string) error {
 	if err != nil {
 		return err
 	}
+	dtype, err := parseDtype(*dtypeStr, arch.Scalar())
+	if err != nil {
+		return err
+	}
 	var res *ipcomp.Result
 	if *bound > 0 {
 		res, err = arch.RetrieveErrorBound(*bound)
@@ -215,7 +322,7 @@ func cmdRetrieve(args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := writeFloats(*out, res.Data()); err != nil {
+	if err := writeAtWidth(*out, res, dtype); err != nil {
 		return err
 	}
 	fmt.Printf("retrieved %d values: loaded %d of %d bytes (%.1f%%), %.3f bits/value, guaranteed error %.3g\n",
@@ -241,10 +348,12 @@ func cmdInfo(args []string) error {
 		return err
 	}
 	n := arch.NumElements()
+	elem := arch.Scalar().Bytes()
 	fmt.Printf("shape:        %v (%d values)\n", arch.Shape(), n)
+	fmt.Printf("dtype:        %s (format v%d)\n", arch.Scalar(), arch.FormatVersion())
 	fmt.Printf("error bound:  %g\n", arch.ErrorBound())
 	fmt.Printf("size:         %d bytes (CR %.2f, %.3f bits/value)\n",
-		arch.CompressedSize(), float64(n*8)/float64(arch.CompressedSize()),
+		arch.CompressedSize(), float64(n*elem)/float64(arch.CompressedSize()),
 		float64(arch.CompressedSize())*8/float64(n))
 	return nil
 }
@@ -253,21 +362,26 @@ func cmdGen(args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	name := fs.String("dataset", "Density", fmt.Sprintf("one of %v", datagen.Names()))
 	divisor := fs.Int("divisor", 4, "linear downscale factor vs. the paper's shapes")
-	out := fs.String("out", "", "output raw float64 file")
+	out := fs.String("out", "", "output raw float file")
+	dtypeStr := fs.String("dtype", "f64", "output element type: f32|f64")
 	fs.Parse(args)
 	if *out == "" {
 		return fmt.Errorf("gen requires -out")
+	}
+	dtype, err := parseDtype(*dtypeStr, ipcomp.Float64)
+	if err != nil {
+		return err
 	}
 	ds, err := datagen.Generate(*name, *divisor)
 	if err != nil {
 		return err
 	}
-	if err := writeFloats(*out, ds.Grid.Data()); err != nil {
+	if err := writeAtWidth(*out, rawFloats(ds.Grid.Data()), dtype); err != nil {
 		return err
 	}
-	fmt.Printf("generated %s (%s domain): shape %v, range [%g]\n",
-		ds.Name, ds.Domain, ds.Grid.Shape(), ds.Grid.ValueRange())
-	fmt.Printf("compress with: ipcomp compress -in %s -shape %s -eb 1e-6 -rel -out %s.ipc\n",
-		*out, ds.Grid.Shape(), *out)
+	fmt.Printf("generated %s (%s domain, %s): shape %v, range [%g]\n",
+		ds.Name, ds.Domain, dtype, ds.Grid.Shape(), ds.Grid.ValueRange())
+	fmt.Printf("compress with: ipcomp compress -in %s -shape %s -dtype %s -eb 1e-6 -rel -out %s.ipc\n",
+		*out, ds.Grid.Shape(), dtype, *out)
 	return nil
 }

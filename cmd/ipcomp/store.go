@@ -12,7 +12,7 @@ import (
 
 // cmdStore dispatches the chunked-container subcommands:
 //
-//	ipcomp store pack    -out c.ipcs [-eb 1e-6] [-rel] [-chunk 64x64x64] [-interp cubic] name=file:shape ...
+//	ipcomp store pack    -out c.ipcs [-eb 1e-6] [-rel] [-chunk 64x64x64] [-interp cubic] [-dtype f32] name=file:shape[:dtype] ...
 //	ipcomp store ls      -in c.ipcs
 //	ipcomp store extract -in c.ipcs -dataset name [-bound 1e-3] -out out.f64
 //	ipcomp store region  -in c.ipcs -dataset name -lo 0,0,0 -hi 64,64,64 [-bound 1e-3] [-out out.f64]
@@ -55,6 +55,7 @@ func cmdStorePack(args []string) error {
 	rel := fs.Bool("rel", false, "interpret -eb relative to each dataset's value range")
 	chunkStr := fs.String("chunk", "", "tile shape, e.g. 64x64x64 (default 64 per dimension)")
 	interpName := fs.String("interp", "cubic", "interpolation: linear|cubic")
+	dtypeStr := fs.String("dtype", "f64", "input element type of every file: f32|f64")
 	fs.Parse(args)
 	specs := fs.Args()
 	if *out == "" || len(specs) == 0 {
@@ -68,6 +69,10 @@ func cmdStorePack(args []string) error {
 		}
 	}
 	kind, err := parseInterp(*interpName)
+	if err != nil {
+		return err
+	}
+	dtype, err := parseDtype(*dtypeStr, ipcomp.Float64)
 	if err != nil {
 		return err
 	}
@@ -85,30 +90,57 @@ func cmdStorePack(args []string) error {
 	for _, spec := range specs {
 		name, rest, ok := strings.Cut(spec, "=")
 		if !ok {
-			return fmt.Errorf("bad dataset spec %q (want name=file:shape)", spec)
+			return fmt.Errorf("bad dataset spec %q (want name=file:shape[:dtype])", spec)
 		}
 		path, shapeStr, ok := strings.Cut(rest, ":")
 		if !ok {
-			return fmt.Errorf("bad dataset spec %q (want name=file:shape)", spec)
+			return fmt.Errorf("bad dataset spec %q (want name=file:shape[:dtype])", spec)
+		}
+		// An optional per-spec dtype suffix (name=file:shape:f32) overrides
+		// the container-wide -dtype flag, so one pack invocation can build
+		// the mixed-width containers the v2 index supports.
+		dtype := dtype
+		if shapePart, dtypePart, has := strings.Cut(shapeStr, ":"); has {
+			if dtypePart == "" {
+				return fmt.Errorf("bad dataset spec %q (want name=file:shape[:dtype])", spec)
+			}
+			shapeStr = shapePart
+			if dtype, err = parseDtype(dtypePart, 0); err != nil {
+				return fmt.Errorf("bad dataset spec %q: %w", spec, err)
+			}
 		}
 		shape, err := parseShape(shapeStr)
 		if err != nil {
 			return err
 		}
-		data, err := readFloats(path)
-		if err != nil {
-			return err
-		}
-		if err := sw.Add(name, data, shape, ipcomp.StoreOptions{
+		opt := ipcomp.StoreOptions{
 			ErrorBound:    *eb,
 			Relative:      *rel,
 			Interpolation: kind,
 			ChunkShape:    chunk,
-		}); err != nil {
-			return err
 		}
-		raw += int64(len(data) * 8)
-		fmt.Printf("packed %s: %d values from %s\n", name, len(data), path)
+		var n int
+		if dtype == ipcomp.Float32 {
+			data, err := readFloats32(path)
+			if err != nil {
+				return err
+			}
+			if err := sw.AddFloat32(name, data, shape, opt); err != nil {
+				return err
+			}
+			n = len(data)
+		} else {
+			data, err := readFloats(path)
+			if err != nil {
+				return err
+			}
+			if err := sw.Add(name, data, shape, opt); err != nil {
+				return err
+			}
+			n = len(data)
+		}
+		raw += int64(n * dtype.Bytes())
+		fmt.Printf("packed %s: %d %s values from %s\n", name, n, dtype, path)
 	}
 	if err := sw.Close(); err != nil {
 		return err
@@ -134,15 +166,25 @@ func cmdStoreLs(args []string) error {
 		return err
 	}
 	defer s.Close()
-	fmt.Printf("%-20s %-16s %-12s %8s %10s %12s\n",
-		"DATASET", "SHAPE", "CHUNK", "CHUNKS", "EB", "BYTES")
+	fmt.Printf("%-20s %-16s %-12s %-8s %8s %10s %12s\n",
+		"DATASET", "SHAPE", "CHUNK", "DTYPE", "CHUNKS", "EB", "BYTES")
 	for _, ds := range s.Datasets() {
-		fmt.Printf("%-20s %-16s %-12s %8d %10.3g %12d\n",
+		fmt.Printf("%-20s %-16s %-12s %-8s %8d %10.3g %12d\n",
 			ds.Name, shapeString(ds.Shape), shapeString(ds.ChunkShape),
-			ds.NumChunks, ds.ErrorBound, ds.CompressedBytes)
+			ds.Scalar, ds.NumChunks, ds.ErrorBound, ds.CompressedBytes)
 	}
 	fmt.Printf("container: %d bytes total\n", s.Size())
 	return nil
+}
+
+// writeRegion writes a region's values at the requested width, defaulting
+// to the dataset's native element type.
+func writeRegion(path string, reg *ipcomp.Region, dtypeStr string) error {
+	dtype, err := parseDtype(dtypeStr, reg.Scalar())
+	if err != nil {
+		return err
+	}
+	return writeAtWidth(path, reg, dtype)
 }
 
 func shapeString(shape []int) string {
@@ -158,10 +200,16 @@ func cmdStoreExtract(args []string) error {
 	in := fs.String("in", "", "container file")
 	name := fs.String("dataset", "", "dataset name")
 	bound := fs.Float64("bound", 0, "L-inf error bound (0 = full fidelity)")
-	out := fs.String("out", "", "output raw float64 file")
+	out := fs.String("out", "", "output raw float file")
+	dtypeStr := fs.String("dtype", "", "output element type: f32|f64 (default: the dataset's)")
 	fs.Parse(args)
 	if *in == "" || *name == "" || *out == "" {
 		return fmt.Errorf("store extract requires -in, -dataset, -out")
+	}
+	// Validate the flag before the (potentially expensive) retrieval; the
+	// dataset's native width resolves the empty default later.
+	if _, err := parseDtype(*dtypeStr, ipcomp.Float64); err != nil {
+		return err
 	}
 	s, err := ipcomp.OpenStoreFile(*in)
 	if err != nil {
@@ -172,7 +220,7 @@ func cmdStoreExtract(args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := writeFloats(*out, reg.Data()); err != nil {
+	if err := writeRegion(*out, reg, *dtypeStr); err != nil {
 		return err
 	}
 	fmt.Printf("extracted %s (shape %s): %d chunks, loaded %d of %d bytes (%.1f%%), guaranteed error %.3g\n",
@@ -188,10 +236,16 @@ func cmdStoreRegion(args []string) error {
 	loStr := fs.String("lo", "", "region origin, e.g. 0,32,0 (inclusive)")
 	hiStr := fs.String("hi", "", "region end, e.g. 64,64,32 (exclusive)")
 	bound := fs.Float64("bound", 0, "L-inf error bound (0 = full fidelity)")
-	out := fs.String("out", "", "output raw float64 file (optional: stats print regardless)")
+	out := fs.String("out", "", "output raw float file (optional: stats print regardless)")
+	dtypeStr := fs.String("dtype", "", "output element type: f32|f64 (default: the dataset's)")
 	fs.Parse(args)
 	if *in == "" || *name == "" || *loStr == "" || *hiStr == "" {
 		return fmt.Errorf("store region requires -in, -dataset, -lo, -hi")
+	}
+	// Validate the flag before the (potentially expensive) retrieval; the
+	// dataset's native width resolves the empty default later.
+	if _, err := parseDtype(*dtypeStr, ipcomp.Float64); err != nil {
+		return err
 	}
 	lo, err := parsePoint(*loStr)
 	if err != nil {
@@ -211,7 +265,7 @@ func cmdStoreRegion(args []string) error {
 		return err
 	}
 	if *out != "" {
-		if err := writeFloats(*out, reg.Data()); err != nil {
+		if err := writeRegion(*out, reg, *dtypeStr); err != nil {
 			return err
 		}
 	}

@@ -3,6 +3,14 @@
 // regions of interest, then refines only the interesting snapshot to high
 // fidelity. Progressive retrieval makes the scan phase cheap: each snapshot
 // costs a fraction of its archive until one deserves a full look.
+//
+// Real climate model output is single-precision, so this example runs the
+// native float32 path end to end: CompressFloat32 produces version-2
+// archives (4-byte anchors, half the kernel bandwidth) and every retrieval
+// comes back as []float32 with no widening copy. Note the error bound:
+// 1e-6 of the value range is near float32's representational precision —
+// asking a float32 archive for 1e-8-relative fidelity (the float64
+// example bound) would mostly escape through the outlier path.
 package main
 
 import (
@@ -17,11 +25,12 @@ import (
 
 func main() {
 	// Simulate an archive of wind-speed snapshots (SpeedX-like fields with
-	// different seeds via shifted shapes — here, three independent fields).
+	// different seeds via shifted shapes — here, three independent fields),
+	// stored the way the instruments and models emit them: float32.
 	fmt.Println("== scan phase: coarse retrieval of every snapshot ==")
 	type snapshot struct {
 		name string
-		data []float64
+		data []float32
 		blob []byte
 	}
 	var snaps []snapshot
@@ -30,8 +39,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		blob, err := ipcomp.Compress(ds.Grid.Data(), ds.Grid.Shape(), ipcomp.Options{
-			ErrorBound: 1e-8,
+		field := grid.Narrow(ds.Grid) // the model's native precision
+		blob, err := ipcomp.CompressFloat32(field.Data(), field.Shape(), ipcomp.Options{
+			ErrorBound: 1e-6,
 			Relative:   true,
 		})
 		if err != nil {
@@ -39,14 +49,15 @@ func main() {
 		}
 		snaps = append(snaps, snapshot{
 			name: fmt.Sprintf("t%02d (%s)", i, name),
-			data: ds.Grid.Data(),
+			data: field.Data(),
 			blob: blob,
 		})
 	}
 
 	// Scan: find the snapshot with the strongest extreme values using only
-	// ~coarse data. A 1e-3-relative view is plenty to rank maxima.
-	bestIdx, bestMax := -1, math.Inf(-1)
+	// ~coarse data. A coarse view is plenty to rank maxima.
+	bestIdx := -1
+	bestMax := float32(math.Inf(-1))
 	var scanned, totalSize int64
 	for i, s := range snaps {
 		arch, err := ipcomp.Open(s.blob)
@@ -57,16 +68,17 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		peak := math.Inf(-1)
-		for _, v := range res.Data() {
+		peak := float32(math.Inf(-1))
+		for _, v := range res.DataFloat32() {
 			if v > peak {
 				peak = v
 			}
 		}
 		scanned += res.LoadedBytes()
 		totalSize += int64(len(s.blob))
-		fmt.Printf("  %s: peak %8.3f   loaded %5.1f%% of archive\n",
-			s.name, peak, 100*float64(res.LoadedBytes())/float64(len(s.blob)))
+		fmt.Printf("  %s: peak %8.3f   loaded %5.1f%% of archive (%s, format v%d)\n",
+			s.name, peak, 100*float64(res.LoadedBytes())/float64(len(s.blob)),
+			arch.Scalar(), arch.FormatVersion())
 		if peak > bestMax {
 			bestMax, bestIdx = peak, i
 		}
@@ -75,7 +87,8 @@ func main() {
 		scanned, totalSize, 100*float64(scanned)/float64(totalSize))
 
 	// Deep dive: refine ONLY the winning snapshot, progressively, and watch
-	// a derived statistic converge.
+	// a derived statistic converge. DataFloat32 returns the shared native
+	// slice, so each refinement updates it in place.
 	winner := snaps[bestIdx]
 	fmt.Printf("== analysis phase: refining %s ==\n", winner.name)
 	arch, err := ipcomp.Open(winner.blob)
@@ -87,11 +100,12 @@ func main() {
 		log.Fatal(err)
 	}
 	shape := grid.Shape(arch.Shape())
+	view := res.DataFloat32()
 	for _, factor := range []float64{4096, 256, 16, 1} {
 		if err := res.RefineErrorBound(arch.ErrorBound() * factor); err != nil {
 			log.Fatal(err)
 		}
-		g, err := grid.FromSlice(res.Data(), shape)
+		g, err := grid.FromSlice(view, shape)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -102,14 +116,15 @@ func main() {
 }
 
 // meanGradient is the derived quantity the analyst watches: the mean
-// magnitude of the first-axis gradient.
-func meanGradient(g *grid.Grid) float64 {
+// magnitude of the first-axis gradient, accumulated in float64 so the sum
+// does not lose precision over millions of float32 terms.
+func meanGradient(g *grid.Grid[float32]) float64 {
 	data := g.Data()
 	stride := g.Strides()[0]
 	sum := 0.0
 	n := 0
 	for i := stride; i < len(data); i++ {
-		sum += math.Abs(data[i] - data[i-stride])
+		sum += math.Abs(float64(data[i]) - float64(data[i-stride]))
 		n++
 	}
 	return sum / float64(n)

@@ -47,7 +47,7 @@ func main() {
 	opt := ipcomp.StoreOptions{ErrorBound: 1e-6, Relative: true, ChunkShape: []int{32, 32, 32}}
 	for _, ds := range []struct {
 		name string
-		g    *grid.Grid
+		g    *grid.Grid[float64]
 	}{{"density", density}, {"pressure", pressure}} {
 		if err := sw.Add(ds.name, ds.g.Data(), ds.g.Shape(), opt); err != nil {
 			log.Fatal(err)

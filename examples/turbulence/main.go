@@ -76,7 +76,7 @@ func main() {
 	fmt.Printf("\nimages written to %s/ — compare curl_*.pgm against laplace_*.pgm\n", outDir)
 }
 
-func writePGM(dir, name string, g *grid.Grid) {
+func writePGM(dir, name string, g *grid.Grid[float64]) {
 	img, err := analysis.SliceToPGM(g)
 	if err != nil {
 		log.Fatal(err)

@@ -18,11 +18,11 @@ import (
 // with one scalar field available the standard proxy is the curl of
 // (0, 0, f), whose magnitude is |(∂f/∂y, -∂f/∂x, 0)|). Central differences
 // inside, one-sided at boundaries. The input must be 3D.
-func CurlMagnitude(g *grid.Grid) (*grid.Grid, error) {
+func CurlMagnitude(g *grid.Grid[float64]) (*grid.Grid[float64], error) {
 	if g.NDims() != 3 {
 		return nil, fmt.Errorf("analysis: curl needs a 3D field, got %dD", g.NDims())
 	}
-	out, err := grid.New(g.Shape())
+	out, err := grid.New[float64](g.Shape())
 	if err != nil {
 		return nil, err
 	}
@@ -41,11 +41,11 @@ func CurlMagnitude(g *grid.Grid) (*grid.Grid, error) {
 
 // Laplacian computes the 7-point (3D) discrete Laplacian with reflecting
 // boundaries.
-func Laplacian(g *grid.Grid) (*grid.Grid, error) {
+func Laplacian(g *grid.Grid[float64]) (*grid.Grid[float64], error) {
 	if g.NDims() != 3 {
 		return nil, fmt.Errorf("analysis: laplacian needs a 3D field, got %dD", g.NDims())
 	}
-	out, err := grid.New(g.Shape())
+	out, err := grid.New[float64](g.Shape())
 	if err != nil {
 		return nil, err
 	}
@@ -67,7 +67,7 @@ func Laplacian(g *grid.Grid) (*grid.Grid, error) {
 
 // diff computes the central difference along dim at (i,j,k), one-sided at
 // the boundaries.
-func diff(g *grid.Grid, dim, i, j, k int) float64 {
+func diff(g *grid.Grid[float64], dim, i, j, k int) float64 {
 	idx := [3]int{i, j, k}
 	lo, hi := idx, idx
 	shape := g.Shape()
@@ -90,7 +90,7 @@ func diff(g *grid.Grid, dim, i, j, k int) float64 {
 
 // at fetches with reflecting boundary (out-of-range returns the centre
 // value, making the boundary Laplacian one-sided).
-func at(g *grid.Grid, i, j, k int, centre float64) float64 {
+func at(g *grid.Grid[float64], i, j, k int, centre float64) float64 {
 	shape := g.Shape()
 	if i < 0 || j < 0 || k < 0 || i >= shape[0] || j >= shape[1] || k >= shape[2] {
 		return centre
@@ -101,7 +101,7 @@ func at(g *grid.Grid, i, j, k int, centre float64) float64 {
 // SliceToPGM renders the middle slice along the first axis as an 8-bit
 // binary PGM image, normalizing values to the slice's range — the
 // repository's stand-in for the paper's Figure 11 renderings.
-func SliceToPGM(g *grid.Grid) ([]byte, error) {
+func SliceToPGM(g *grid.Grid[float64]) ([]byte, error) {
 	if g.NDims() != 3 {
 		return nil, fmt.Errorf("analysis: PGM rendering needs a 3D field")
 	}
@@ -135,7 +135,7 @@ func SliceToPGM(g *grid.Grid) ([]byte, error) {
 
 // RelativeL2 returns ‖a-b‖₂ / ‖a‖₂, the similarity metric the Figure 11
 // reproduction reports for derived quantities (a is the reference).
-func RelativeL2(a, b *grid.Grid) float64 {
+func RelativeL2(a, b *grid.Grid[float64]) float64 {
 	ad, bd := a.Data(), b.Data()
 	var num, den float64
 	for i := range ad {

@@ -9,8 +9,8 @@ import (
 )
 
 // linear3D builds f(i,j,k) = a·i + b·j + c·k.
-func linear3D(shape grid.Shape, a, b, c float64) *grid.Grid {
-	g := grid.MustNew(shape)
+func linear3D(shape grid.Shape, a, b, c float64) *grid.Grid[float64] {
+	g := grid.MustNew[float64](shape)
 	for i := 0; i < shape[0]; i++ {
 		for j := 0; j < shape[1]; j++ {
 			for k := 0; k < shape[2]; k++ {
@@ -60,7 +60,7 @@ func TestLaplacianOfLinearFieldIsZero(t *testing.T) {
 func TestLaplacianOfQuadratic(t *testing.T) {
 	// f = i^2 has discrete Laplacian 2 in the interior.
 	shape := grid.Shape{8, 6, 6}
-	g := grid.MustNew(shape)
+	g := grid.MustNew[float64](shape)
 	for i := 0; i < shape[0]; i++ {
 		for j := 0; j < shape[1]; j++ {
 			for k := 0; k < shape[2]; k++ {
@@ -78,7 +78,7 @@ func TestLaplacianOfQuadratic(t *testing.T) {
 }
 
 func TestRejectNon3D(t *testing.T) {
-	g := grid.MustNew(grid.Shape{4, 4})
+	g := grid.MustNew[float64](grid.Shape{4, 4})
 	if _, err := CurlMagnitude(g); err == nil {
 		t.Error("2D curl must error")
 	}
@@ -105,7 +105,7 @@ func TestSliceToPGM(t *testing.T) {
 }
 
 func TestRelativeL2(t *testing.T) {
-	a := grid.MustNew(grid.Shape{2, 2, 2})
+	a := grid.MustNew[float64](grid.Shape{2, 2, 2})
 	b := a.Clone()
 	for i := range a.Data() {
 		a.Data()[i] = 1

@@ -17,7 +17,13 @@ import (
 // modified. The returned blob decompresses to within opt.ErrorBound of the
 // input at every point, and supports progressive retrieval at any coarser
 // fidelity.
-func Compress(g *grid.Grid, opt Options) ([]byte, error) {
+//
+// The scalar type is recorded in the archive header: float64 grids produce
+// version-1 archives byte-identical to earlier releases, float32 grids
+// produce version-2 archives that store anchors and outliers at 4 bytes and
+// move half the memory bandwidth through every kernel. The error bound is
+// honored exactly for both widths — all bound arithmetic runs in float64.
+func Compress[T grid.Scalar](g *grid.Grid[T], opt Options) ([]byte, error) {
 	if !(opt.ErrorBound > 0) || math.IsInf(opt.ErrorBound, 0) {
 		return nil, fmt.Errorf("core: error bound must be positive and finite, got %v", opt.ErrorBound)
 	}
@@ -36,25 +42,48 @@ func Compress(g *grid.Grid, opt Options) ([]byte, error) {
 	L := dec.NumLevels()
 	q := quant.New(opt.ErrorBound)
 
-	// Work on a copy: compression simulates decompression in place so that
-	// predictions always come from reconstructed (lossy) values.
-	work := floatScratch.Get(g.Len())
-	defer floatScratch.Put(work)
-	copy(work, g.Data())
-
 	h := &header{
 		kind:   opt.Interpolation,
+		scalar: ScalarOf[T](),
 		shape:  g.Shape().Clone(),
 		eb:     opt.ErrorBound,
 		levels: L,
 		meta:   make([]levelMeta, L),
 	}
 
+	// Work on a copy: compression simulates decompression in place so that
+	// predictions always come from reconstructed (lossy) values. For
+	// float32, the copy loop also gathers the input magnitude that v2
+	// records for the optimizer's rounding slack (roundSlack) — fused here
+	// so it costs no extra pass. NaN values are deliberately not captured
+	// (comparisons with NaN are false): every point whose prediction chain
+	// touches a non-finite value escapes through the exact outlier path at
+	// any plan, so the slack only needs to cover the finite points, while
+	// +Inf still propagates into maxAbs and (honestly) forbids finite
+	// truncated-plan guarantees.
+	work := getWork[T](g.Len())
+	defer putWork(work)
+	if h.scalar == Float32 {
+		var m T
+		for i, v := range g.Data() {
+			work[i] = v
+			if v < 0 {
+				v = -v
+			}
+			if v > m {
+				m = v
+			}
+		}
+		h.maxAbs = float64(m)
+	} else {
+		copy(work, g.Data())
+	}
+
 	// Anchors are stored losslessly and stay exact in the work array.
 	anchorIdx := dec.Anchors()
 	h.anchors = make([]float64, len(anchorIdx))
 	for i, idx := range anchorIdx {
-		h.anchors[i] = work[idx]
+		h.anchors[i] = float64(work[idx])
 	}
 
 	// Pre-size every level's index buffer from the closed-form level count:
@@ -201,8 +230,10 @@ func exactMaxDrop(ks []int32, nbv []uint32, used int) []uint32 {
 
 // Decompress performs a full-fidelity reconstruction of an archive held
 // entirely in memory. It is equivalent to NewArchive(blob) followed by
-// RetrieveAll, without retaining progressive state.
-func Decompress(blob []byte) (*grid.Grid, error) {
+// RetrieveAll, without retaining progressive state. Float32 archives are
+// widened to float64 (losslessly); use RetrieveAll plus DataOf[float32]
+// for a native single-precision view.
+func Decompress(blob []byte) (*grid.Grid[float64], error) {
 	a, err := NewArchive(blob)
 	if err != nil {
 		return nil, err

@@ -11,8 +11,8 @@ import (
 
 // smoothField builds a deterministic multi-scale smooth field resembling
 // scientific data.
-func smoothField(shape grid.Shape, seed int64) *grid.Grid {
-	g := grid.MustNew(shape)
+func smoothField(shape grid.Shape, seed int64) *grid.Grid[float64] {
+	g := grid.MustNew[float64](shape)
 	r := rand.New(rand.NewSource(seed))
 	// Random low-order Fourier modes plus a little noise.
 	type mode struct {
@@ -345,7 +345,7 @@ func TestNaNAndInfEscape(t *testing.T) {
 }
 
 func TestConstantField(t *testing.T) {
-	g := grid.MustNew(grid.Shape{20, 20, 20})
+	g := grid.MustNew[float64](grid.Shape{20, 20, 20})
 	for i := range g.Data() {
 		g.Data()[i] = 3.25
 	}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/interp"
+)
+
+func maxAbsDiff32(orig []float32, recon []float32) float64 {
+	worst := 0.0
+	for i := range orig {
+		d := math.Abs(float64(orig[i]) - float64(recon[i]))
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TestFloat32RoundTrip asserts the native float32 pipeline honors the
+// error bound at full fidelity for a range of shapes and both predictors.
+func TestFloat32RoundTrip(t *testing.T) {
+	shapes := []grid.Shape{{257}, {65, 50}, {33, 20, 47}, {9, 10, 11, 12}}
+	for _, shape := range shapes {
+		for _, kind := range []interp.Kind{interp.Linear, interp.Cubic} {
+			g := grid.Narrow(smoothField(shape, 42))
+			eb := 1e-4 * g.ValueRange()
+			blob, err := Compress(g, Options{ErrorBound: eb, Interpolation: kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := NewArchive(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := a.RetrieveAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := maxAbsDiff32(g.Data(), res.DataFloat32()); got > eb {
+				t.Errorf("%v/%v: error %g > bound %g", shape, kind, got, eb)
+			}
+		}
+	}
+}
+
+// TestFloat32RetrievalGranularities asserts the bound is respected at
+// every retrieval granularity — error-bound mode, bitrate mode, and
+// refinement up to full fidelity — for a float32 archive, mirroring the
+// float64 progressive tests.
+func TestFloat32RetrievalGranularities(t *testing.T) {
+	g := grid.Narrow(smoothField(grid.Shape{40, 50, 60}, 7))
+	scale := g.ValueRange()
+	eb := 1e-5 * scale
+	blob, err := Compress(g, Options{ErrorBound: eb, Interpolation: interp.Cubic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewArchive(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Error-bound mode at descending bounds: actual error within the
+	// guarantee, guarantee within the request.
+	for _, factor := range []float64{65536, 4096, 256, 16, 1} {
+		bound := eb * factor
+		res, err := a.RetrieveErrorBound(bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if guar := res.GuaranteedError(); guar > bound*(1+1e-9) {
+			t.Errorf("bound %g: guarantee %g exceeds request", bound, guar)
+		}
+		if got := maxAbsDiff32(g.Data(), res.DataFloat32()); got > res.GuaranteedError() {
+			t.Errorf("bound %g: error %g > guarantee %g", bound, got, res.GuaranteedError())
+		}
+	}
+
+	// Bitrate mode: the loaded bytes respect the budget and the actual
+	// error respects the plan's guarantee.
+	for _, bits := range []float64{0.5, 1, 2, 4} {
+		res, err := a.RetrieveBitrate(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := maxAbsDiff32(g.Data(), res.DataFloat32()); got > res.GuaranteedError() {
+			t.Errorf("bitrate %g: error %g > guarantee %g", bits, got, res.GuaranteedError())
+		}
+	}
+
+	// Progressive refinement: coarse retrieval, tighten twice, then
+	// RefineAll must land exactly on the full-fidelity reconstruction
+	// (the float32 refine path rebuilds, so bit-equality is guaranteed).
+	res, err := a.RetrieveErrorBound(eb * 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := res.DataFloat32() // shared: refinement mutates in place
+	for _, factor := range []float64{256, 16} {
+		if err := res.RefineErrorBound(eb * factor); err != nil {
+			t.Fatal(err)
+		}
+		if got := maxAbsDiff32(g.Data(), data); got > res.GuaranteedError() {
+			t.Errorf("refine %g: error %g > guarantee %g", eb*factor, got, res.GuaranteedError())
+		}
+	}
+	if err := res.RefineAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := maxAbsDiff32(g.Data(), data); got > eb {
+		t.Errorf("RefineAll: error %g > compression bound %g", got, eb)
+	}
+	fresh, err := a.RetrieveAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range fresh.DataFloat32() {
+		if v != data[i] {
+			t.Fatalf("refined result diverges from fresh retrieval at %d: %v vs %v", i, v, data[i])
+		}
+	}
+	// Loaded-byte accounting: refinement must not have re-read planes.
+	if res.LoadedBytes() != fresh.LoadedBytes() {
+		t.Errorf("refined path loaded %d bytes, fresh retrieval %d", res.LoadedBytes(), fresh.LoadedBytes())
+	}
+}
+
+// TestFloat32ViewConversions pins the Data/DataFloat32 aliasing contract
+// on both archive flavors.
+func TestFloat32ViewConversions(t *testing.T) {
+	g32 := grid.Narrow(smoothField(grid.Shape{20, 20, 20}, 3))
+	eb := 1e-4 * g32.ValueRange()
+	blob, err := Compress(g32, Options{ErrorBound: eb, Interpolation: interp.Cubic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewArchive(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.RetrieveAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	native := res.DataFloat32()
+	wide := res.Data()
+	for i := range native {
+		if float64(native[i]) != wide[i] {
+			t.Fatalf("widened view differs at %d", i)
+		}
+	}
+	if &native[0] != &res.DataFloat32()[0] {
+		t.Error("DataFloat32 must return the shared native slice")
+	}
+	if of := DataOf[float32](res); &of[0] != &native[0] {
+		t.Error("DataOf[float32] must return the shared native slice")
+	}
+	// The widened view is a copy: mutating it must not corrupt the result.
+	wide[0] = 1e30
+	if float64(native[0]) == 1e30 {
+		t.Error("Data() aliases the float32 backing")
+	}
+}

@@ -6,9 +6,10 @@
 // Archive layout:
 //
 //	header (always loaded)
-//	  magic, version, interpolation kind, shape, error bound
+//	  magic, version, interpolation kind, scalar type (v2), shape,
+//	  error bound, max |value| (v2)
 //	  L (levels), Lp (progressive levels)
-//	  anchor values (raw float64, lossless)
+//	  anchor values (raw at the native scalar width, lossless)
 //	  per level: element count, outlier table, used-plane count,
 //	             per-plane compressed block sizes, maxDrop truncation table
 //	blocks (loaded on demand)
@@ -35,8 +36,60 @@ import (
 // Magic identifies IPComp archives ("IPC1" little-endian).
 const Magic = 0x31435049
 
-// Version is the archive format version produced by this package.
-const Version = 1
+// Archive format versions. Version 2 gives meaning to the header byte that
+// version 1 reserved (and always wrote as zero): it now names the scalar
+// type, and float32 archives store their anchors and outlier values as
+// 4-byte floats. The encoder emits the lowest version that can represent an
+// archive — float64 archives are still written as version 1, byte-identical
+// to earlier releases (the golden digests pin this) — and the reader
+// accepts both.
+const (
+	// Version1 is the original float64-only format.
+	Version1 = 1
+	// Version is the current format: adds the scalar-type header field.
+	Version = 2
+)
+
+// ScalarType identifies the element type an archive stores. The numeric
+// values are part of the v2 format.
+type ScalarType uint8
+
+const (
+	// Float64 matches version 1's implicit element type (code 0, the byte
+	// v1 archives wrote as reserved).
+	Float64 ScalarType = 0
+	// Float32 archives store values, anchors, and outliers as 4-byte
+	// floats; all bound arithmetic stays in float64.
+	Float32 ScalarType = 1
+)
+
+func (s ScalarType) String() string {
+	switch s {
+	case Float64:
+		return "float64"
+	case Float32:
+		return "float32"
+	default:
+		return fmt.Sprintf("ScalarType(%d)", uint8(s))
+	}
+}
+
+// Bytes returns the element width in bytes.
+func (s ScalarType) Bytes() int {
+	if s == Float32 {
+		return 4
+	}
+	return 8
+}
+
+// ScalarOf maps a Go scalar type onto its archive code.
+func ScalarOf[T grid.Scalar]() ScalarType {
+	var z T
+	if _, ok := any(z).(float32); ok {
+		return Float32
+	}
+	return Float64
+}
 
 // DefaultProgressiveThreshold is the minimum number of elements a level
 // must have to be bitplane-progressive. Smaller (coarser) levels are always
@@ -83,11 +136,24 @@ type levelMeta struct {
 
 // header is the always-loaded portion of an archive.
 type header struct {
+	// version is the format version of the serialized bytes: chosen by
+	// marshal (the lowest that can represent the archive), recorded from
+	// the parsed byte on read — a v2 archive that declares Float64 is
+	// legal and must report as v2, not as what the encoder would emit.
+	version uint8
 	kind    interp.Kind
+	scalar  ScalarType
 	shape   grid.Shape
 	eb      float64
-	levels  int // L
-	prog    int // Lp: levels 1..prog are progressive
+	// maxAbs is the largest absolute input value, recorded by v2 (float32)
+	// archives so the optimizer can bound the per-level float32 rounding of
+	// truncated reconstructions (see Archive.roundSlack). Zero for v1.
+	maxAbs float64
+	levels int // L
+	prog   int // Lp: levels 1..prog are progressive
+	// anchors and the outlier values below are held as float64 in memory
+	// for both scalar types — float32 values widen losslessly — and are
+	// serialized at the archive's native width.
 	anchors []float64
 	meta    []levelMeta // index 0 -> level 1 (finest) ... levels-1 -> level L
 	// headerSize is the serialized header length; block offsets are
@@ -130,20 +196,37 @@ func (h *header) totalSize() int64 {
 func (h *header) marshal() []byte {
 	var buf bytes.Buffer
 	w := func(v interface{}) { binary.Write(&buf, binary.LittleEndian, v) }
+	// Lossless values (anchors, outliers) are stored at the archive's
+	// native width: float32 archives lose nothing by storing 4 bytes.
+	wval := func(v float64) {
+		if h.scalar == Float32 {
+			w(float32(v))
+		} else {
+			w(v)
+		}
+	}
+	version := uint8(Version1)
+	if h.scalar != Float64 {
+		version = Version
+	}
+	h.version = version
 	w(uint32(Magic))
-	w(uint8(Version))
+	w(version)
 	w(uint8(h.kind))
 	w(uint8(len(h.shape)))
-	w(uint8(0)) // reserved
+	w(uint8(h.scalar)) // v1's reserved byte: Float64 is 0, so v1 bytes match
 	for _, d := range h.shape {
 		w(uint32(d))
 	}
 	w(h.eb)
+	if version >= Version {
+		wval(h.maxAbs) // v2 only: keeps v1 bytes identical
+	}
 	w(uint8(h.levels))
 	w(uint8(h.prog))
 	w(uint32(len(h.anchors)))
 	for _, a := range h.anchors {
-		w(a)
+		wval(a)
 	}
 	for l := 1; l <= h.levels; l++ {
 		m := h.metaOf(l)
@@ -151,7 +234,7 @@ func (h *header) marshal() []byte {
 		w(uint32(len(m.outlierIdx)))
 		for i := range m.outlierIdx {
 			w(m.outlierIdx[i])
-			w(m.outlierVal[i])
+			wval(m.outlierVal[i])
 		}
 		w(uint8(m.usedPlanes))
 		for _, s := range m.blockSizes {
@@ -209,6 +292,19 @@ func (r *reader) f64() (float64, error) {
 	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
 }
 
+// val reads one lossless value at the archive's native width, widened to
+// float64 (exact for both scalar types).
+func (r *reader) val(s ScalarType) (float64, error) {
+	if s == Float32 {
+		b, err := r.bytes(4)
+		if err != nil {
+			return 0, err
+		}
+		return float64(math.Float32frombits(binary.LittleEndian.Uint32(b))), nil
+	}
+	return r.f64()
+}
+
 // unmarshalHeader parses a serialized header (including the length prefix).
 func unmarshalHeader(raw []byte) (*header, error) {
 	if len(raw) < 8 {
@@ -230,7 +326,7 @@ func unmarshalHeader(raw []byte) (*header, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != Version {
+	if version != Version1 && version != Version {
 		return nil, fmt.Errorf("core: unsupported archive version %d", version)
 	}
 	kind, err := r.u8()
@@ -241,13 +337,20 @@ func unmarshalHeader(raw []byte) (*header, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := r.u8(); err != nil { // reserved
+	scalar, err := r.u8() // v1: reserved (always 0 == Float64)
+	if err != nil {
 		return nil, err
+	}
+	if ScalarType(scalar) != Float64 && ScalarType(scalar) != Float32 {
+		return nil, fmt.Errorf("core: unknown scalar type %d", scalar)
+	}
+	if version == Version1 && ScalarType(scalar) != Float64 {
+		return nil, fmt.Errorf("core: version 1 archive declares scalar type %d", scalar)
 	}
 	if ndims == 0 || int(ndims) > grid.MaxDims {
 		return nil, fmt.Errorf("core: invalid rank %d", ndims)
 	}
-	h := &header{kind: interp.Kind(kind)}
+	h := &header{version: version, kind: interp.Kind(kind), scalar: ScalarType(scalar)}
 	h.shape = make(grid.Shape, ndims)
 	for i := range h.shape {
 		d, err := r.u32()
@@ -261,6 +364,20 @@ func unmarshalHeader(raw []byte) (*header, error) {
 	}
 	if h.eb, err = r.f64(); err != nil {
 		return nil, err
+	}
+	if version >= Version {
+		if h.maxAbs, err = r.val(h.scalar); err != nil {
+			return nil, err
+		}
+		// A magnitude is non-negative by construction; a negative value
+		// would flip roundSlack's sign and silently loosen every truncated
+		// plan's guarantee, so reject it here like every other semantic
+		// header field. (+Inf/NaN are in-spec for non-finite data — they
+		// make truncated-plan guarantees infinite, which is honest. The
+		// comparison is phrased so NaN passes: NaN < 0 is false.)
+		if h.maxAbs < 0 {
+			return nil, fmt.Errorf("core: negative max-magnitude field %v", h.maxAbs)
+		}
 	}
 	lv, err := r.u8()
 	if err != nil {
@@ -280,7 +397,7 @@ func unmarshalHeader(raw []byte) (*header, error) {
 	}
 	h.anchors = make([]float64, nanchor)
 	for i := range h.anchors {
-		if h.anchors[i], err = r.f64(); err != nil {
+		if h.anchors[i], err = r.val(h.scalar); err != nil {
 			return nil, err
 		}
 	}
@@ -302,7 +419,7 @@ func unmarshalHeader(raw []byte) (*header, error) {
 			if m.outlierIdx[i], err = r.u32(); err != nil {
 				return nil, err
 			}
-			if m.outlierVal[i], err = r.f64(); err != nil {
+			if m.outlierVal[i], err = r.val(h.scalar); err != nil {
 				return nil, err
 			}
 		}

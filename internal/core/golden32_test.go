@@ -1,0 +1,144 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/interp"
+)
+
+// golden32Digests pins the exact archive bytes produced for the float32
+// narrowing of the golden datasets (format v2). The engine must reproduce
+// them bit for bit on any GOMAXPROCS. Regenerate with
+// UPDATE_GOLDEN=1 go test -run TestGoldenArchivesFloat32 -v (only
+// legitimate after a deliberate format change).
+var golden32Digests = map[string]string{
+	"1Dx257/linear":       "98cd8f9ae1b5e61dda93ca47970f4dae18ec2288342f8c75f9e579994f609531",
+	"1Dx257/cubic":        "eab21534503a79a291254d97491329b7eb75222187aab3e00d1270b4608f7f7a",
+	"2Dx33x29/linear":     "262d3e67b2fa9c8cbbc19e3f8459b75d26082f8937f1c4860300cd7ef27590ba",
+	"2Dx33x29/cubic":      "aff1efa4b904aca1c49232f5ddb9b9539c396b32956320dfd0cc0bef9cf7297d",
+	"3Dx17x19x23/linear":  "b5e5f3d95082c0accb6d4d63c5f0327a1774cd2bc4f4ca040de512ca969d3265",
+	"3Dx17x19x23/cubic":   "00a6e7e0e11a29b454b242d6af06cf0f702f306a9b682107760bde7a7b0f9afa",
+	"4Dx7x9x11x13/linear": "16d6554b45b58ee66d563fcfed8cceb0fd2435e353eae0a66ff0231fd793c579",
+	"4Dx7x9x11x13/cubic":  "9bd0903194472de7c5612772cce5b38e01d0f7e7666bc445ee9633928db4b545",
+}
+
+// goldenField32 is the float32 narrowing of the deterministic golden
+// dataset: identical structure (smooth surface, PRNG noise, outlier
+// spikes), stored at 4 bytes.
+func goldenField32(t testing.TB, shape grid.Shape) *grid.Grid[float32] {
+	t.Helper()
+	return grid.Narrow(goldenField(t, shape))
+}
+
+// TestGoldenArchivesFloat32 pins the float32 coder's output and asserts
+// the v2 archives decode within bound, exercise the outlier path, and
+// carry the right header fields.
+func TestGoldenArchivesFloat32(t *testing.T) {
+	update := os.Getenv("UPDATE_GOLDEN") != ""
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			g := goldenField32(t, tc.shape)
+			blob, err := Compress(g, Options{ErrorBound: 1e-6, Interpolation: tc.kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := sha256.Sum256(blob)
+			got := hex.EncodeToString(sum[:])
+			if update {
+				t.Logf("golden32 %q: %s", tc.name, got)
+			}
+			want, ok := golden32Digests[tc.name]
+			if !ok && !update {
+				t.Fatalf("no golden digest recorded for %q (got %s)", tc.name, got)
+			}
+			if got != want && !update {
+				t.Fatalf("archive digest drifted:\n got  %s\n want %s", got, want)
+			}
+			a, err := NewArchive(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Scalar() != Float32 || a.FormatVersion() != Version {
+				t.Fatalf("scalar %v version %d, want Float32 v%d", a.Scalar(), a.FormatVersion(), Version)
+			}
+			outliers := 0
+			for l := 1; l <= a.h.levels; l++ {
+				outliers += len(a.h.metaOf(l).outlierIdx)
+			}
+			if outliers == 0 {
+				t.Fatalf("golden dataset produced no outliers; fixture too tame")
+			}
+			res, err := a.RetrieveAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Scalar() != Float32 {
+				t.Fatalf("result scalar %v", res.Scalar())
+			}
+			out := res.DataFloat32()
+			for i, v := range out {
+				if d := float64(v) - float64(g.Data()[i]); d > 1e-6 || d < -1e-6 {
+					t.Fatalf("point %d off by %g", i, d)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenParallelDeterminismFloat32 mirrors the float64 determinism
+// test: the float32 engine's output must not depend on scheduling either.
+func TestGoldenParallelDeterminismFloat32(t *testing.T) {
+	compressAt := func(g *grid.Grid[float32], kind interp.Kind, procs int) []byte {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		blob, err := Compress(g, Options{ErrorBound: 1e-6, Interpolation: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	cases := goldenCases()
+	// The pinned shapes are small; add one large enough that every pass
+	// really splits into multiple shards (finest level ≈ 130k targets).
+	cases = append(cases, struct {
+		name  string
+		shape grid.Shape
+		kind  interp.Kind
+	}{"3Dx70x66x58/cubic", grid.Shape{70, 66, 58}, interp.Cubic})
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := goldenField32(t, tc.shape)
+			par := compressAt(g, tc.kind, 8)
+			ser := compressAt(g, tc.kind, 1)
+			if !bytes.Equal(par, ser) {
+				t.Fatalf("parallel and GOMAXPROCS=1 archives differ (%d vs %d bytes)", len(par), len(ser))
+			}
+			// Decompression must agree exactly as well, wide or narrow.
+			decompressAt := func(procs int) []float32 {
+				prev := runtime.GOMAXPROCS(procs)
+				defer runtime.GOMAXPROCS(prev)
+				a, err := NewArchive(par)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := a.RetrieveAll()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.DataFloat32()
+			}
+			wide, narrow := decompressAt(8), decompressAt(1)
+			for i := range wide {
+				if wide[i] != narrow[i] {
+					t.Fatalf("decompression differs at %d: %v vs %v", i, wide[i], narrow[i])
+				}
+			}
+		})
+	}
+}

@@ -32,9 +32,9 @@ var goldenDigests = map[string]string{
 // goldenField builds a deterministic dataset: a smooth multi-frequency
 // surface plus PRNG noise, with a handful of huge spikes that overflow the
 // quantizer's negabinary window and exercise the outlier path.
-func goldenField(t testing.TB, shape grid.Shape) *grid.Grid {
+func goldenField(t testing.TB, shape grid.Shape) *grid.Grid[float64] {
 	t.Helper()
-	g, err := grid.New(shape)
+	g, err := grid.New[float64](shape)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ func TestGoldenArchives(t *testing.T) {
 // a run with the worker pool forced wide (8 exceeds the shard minimum even
 // on single-core CI hosts, so goroutines really interleave).
 func TestGoldenParallelDeterminism(t *testing.T) {
-	compressAt := func(g *grid.Grid, kind interp.Kind, procs int) []byte {
+	compressAt := func(g *grid.Grid[float64], kind interp.Kind, procs int) []byte {
 		prev := runtime.GOMAXPROCS(procs)
 		defer runtime.GOMAXPROCS(prev)
 		blob, err := Compress(g, Options{ErrorBound: 1e-6, Interpolation: kind})

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/grid"
 	"repro/internal/interp"
 	"repro/internal/nb"
 	"repro/internal/quant"
@@ -15,39 +16,53 @@ import (
 // iterate them with the quantizer arithmetic inlined, instead of paying an
 // indirect VisitFunc call plus a non-inlinable quantizer call per point.
 //
+// The kernels are generic over the archive's scalar type: predictions and
+// the reconstructed work array live in T, while the residual window test
+// and bound check always run in float64 (float32 widens losslessly), so
+// the error guarantee is exact for both widths. For T = float64 every
+// expression reduces to the pre-generic float64 sequence, which is what
+// keeps v1 archives bit-identical (the golden archive tests pin this).
+//
 // Within one dimension pass every target depends only on points the pass
 // never writes, so shards of a pass execute concurrently and still produce
-// bit-identical output to the serial canonical order (the golden archive
-// tests pin this).
+// bit-identical output to the serial canonical order.
 
 // minShardTargets is the smallest number of pass targets worth handing to
 // one worker; below it the goroutine overhead beats the win.
 const minShardTargets = 4096
 
-// outlierAcc collects outlier escapes of one shard in sequence order.
+// outlierAcc collects outlier escapes of one shard in sequence order. The
+// values widen to float64 in memory for both scalar types (lossless); the
+// header serializes them at the native width.
 type outlierAcc struct {
 	idx []uint32
 	val []float64
 }
 
 // levelQuantizer fuses prediction and quantization for one compression
-// level: the exact same floating-point expressions as
-// quant.Quantizer.QuantizeReconstruct, evaluated over runs.
-type levelQuantizer struct {
-	work    []float64
-	step    float64
-	invStep float64
+// level. The residual and reconstruction arithmetic runs at T's native
+// width — for float64 the expressions are exactly those of
+// quant.QuantizeReconstruct, which is what keeps v1 archives bit-identical;
+// for float32 the narrower multiplies cost half the bandwidth and skip the
+// per-point widen/narrow chatter. Only the window test and the error-bound
+// check run in float64 (exact for both widths), so a float32 rounding
+// artifact can only escape to the outlier path, never break the guarantee
+// or push an index outside the negabinary window.
+type levelQuantizer[T grid.Scalar] struct {
+	work    []T
+	step    T
+	invStep T
 	eb      float64
 }
 
-func newLevelQuantizer(work []float64, q quant.Quantizer) levelQuantizer {
-	return levelQuantizer{work: work, step: q.Step(), invStep: q.InvStep(), eb: q.ErrorBound()}
+func newLevelQuantizer[T grid.Scalar](work []T, q quant.Quantizer) levelQuantizer[T] {
+	return levelQuantizer[T]{work: work, step: T(q.Step()), invStep: T(q.InvStep()), eb: q.ErrorBound()}
 }
 
 // quantizeLevel quantizes every point of level l against predictions from
 // the (lossy) work array, writing indices into ks (len = LevelCount(l)) and
 // appending outliers to m in canonical sequence order.
-func (e *levelQuantizer) quantizeLevel(dec *interp.Decomposition, l int, kind interp.Kind, ks []int32, m *levelMeta) {
+func (e *levelQuantizer[T]) quantizeLevel(dec *interp.Decomposition, l int, kind interp.Kind, ks []int32, m *levelMeta) {
 	passes := dec.LevelPasses(l)
 	for pi := range passes {
 		p := &passes[pi]
@@ -78,7 +93,7 @@ func (e *levelQuantizer) quantizeLevel(dec *interp.Decomposition, l int, kind in
 	}
 }
 
-func (e *levelQuantizer) quantizeRange(p *interp.Pass, kind interp.Kind, tLo, tHi int, ks []int32, acc *outlierAcc) {
+func (e *levelQuantizer[T]) quantizeRange(p *interp.Pass, kind interp.Kind, tLo, tHi int, ks []int32, acc *outlierAcc) {
 	w := e.work
 	step, invStep, eb := e.step, e.invStep, e.eb
 	p.VisitRuns(kind, tLo, tHi, func(r *interp.Run) {
@@ -87,16 +102,21 @@ func (e *levelQuantizer) quantizeRange(p *interp.Pass, kind interp.Kind, tLo, tH
 			// Predict inlines (it is a small switch on the run's Mode, a
 			// loop-invariant and thus perfectly predicted branch), and the
 			// quantize-reconstruct arithmetic below is the exact expression
-			// sequence of quant.Quantizer.QuantizeReconstruct — kept as one
-			// copy so the bit-identity invariant has a single point of
-			// truth on this path.
-			pred := r.Predict(w, f)
+			// sequence of quant.QuantizeReconstruct (pinned by the kernel
+			// spec test), inlined because the call does not. The residual
+			// scales in T and widens — exactly — for the window test, so
+			// math.Round of an in-window value can never produce an index
+			// outside the negabinary window; the bound is checked in
+			// float64 against the value as stored in T, so float32
+			// rounding can only escape to the outlier path, never break
+			// the guarantee.
+			pred := interp.Predict(r, w, f)
 			orig := w[f]
-			qf := (orig - pred) * invStep
+			qf := float64((orig - pred) * invStep)
 			if qf >= -nb.MaxIndex && qf <= nb.MaxIndex {
 				k := int32(math.Round(qf))
-				recon := pred + float64(k)*step
-				if d := recon - orig; d <= eb && d >= -eb {
+				recon := pred + T(k)*step
+				if d := float64(recon) - float64(orig); d <= eb && d >= -eb {
 					ks[seq] = k
 					w[f] = recon
 					seq++
@@ -105,7 +125,7 @@ func (e *levelQuantizer) quantizeRange(p *interp.Pass, kind interp.Kind, tLo, tH
 				}
 			}
 			acc.idx = append(acc.idx, uint32(seq))
-			acc.val = append(acc.val, orig)
+			acc.val = append(acc.val, float64(orig))
 			ks[seq] = 0
 			seq++
 			f += fstep
@@ -115,10 +135,13 @@ func (e *levelQuantizer) quantizeRange(p *interp.Pass, kind interp.Kind, tLo, tH
 
 // applyLevel reconstructs level l into data (the retrieval side of the
 // fusion): prediction plus the dequantized truncated index, with outlier
-// positions restored to their exact stored values.
-func (a *Archive) applyLevel(data []float64, l int, ks []int32) {
+// positions restored to their exact stored values. The pred+k·step sum
+// runs at T's native width, the exact expression the compressor's work
+// array evaluated, so reconstruction tracks the encoder bit for bit at any
+// scalar width.
+func applyLevel[T grid.Scalar](a *Archive, data []T, l int, ks []int32) {
 	m := a.h.metaOf(l)
-	step := a.quant.Step()
+	step := T(a.quant.Step())
 	kind := a.h.kind
 	passes := a.dec.LevelPasses(l)
 	for pi := range passes {
@@ -134,9 +157,9 @@ func (a *Archive) applyLevel(data []float64, l int, ks []int32) {
 			p.VisitRuns(kind, tLo, tHi, func(r *interp.Run) {
 				f, seq, fstep := r.Flat, r.Seq, r.Step
 				for n := r.N; n > 0; n-- {
-					v := r.Predict(data, f) + float64(ks[seq])*step
+					v := interp.Predict(r, data, f) + T(ks[seq])*step
 					if oi < len(outIdx) && outIdx[oi] == uint32(seq) {
-						v = outVal[oi]
+						v = T(outVal[oi])
 						oi++
 					}
 					data[f] = v
@@ -149,8 +172,11 @@ func (a *Archive) applyLevel(data []float64, l int, ks []int32) {
 }
 
 // propagateLevel runs one level of the delta-field propagation used by
-// refinement: prediction plus an optional per-point addend (nil means the
-// level gained no planes and contributes prediction only).
+// float64 refinement: prediction plus an optional per-point addend (nil
+// means the level gained no planes and contributes prediction only). The
+// delta field is always float64 — float32 archives refine by rebuilding
+// instead (see RefineTo), because their per-level rounding makes the
+// reconstruction non-linear.
 func (a *Archive) propagateLevel(delta []float64, l int, addend []float64) {
 	kind := a.h.kind
 	passes := a.dec.LevelPasses(l)

@@ -10,7 +10,7 @@ import (
 )
 
 // archiveForProps builds one shared archive for the property tests.
-func archiveForProps(t *testing.T) (*Archive, *grid.Grid, float64) {
+func archiveForProps(t *testing.T) (*Archive, *grid.Grid[float64], float64) {
 	t.Helper()
 	g := smoothField(grid.Shape{36, 32, 28}, 99)
 	eb := 1e-8

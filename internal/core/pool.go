@@ -1,6 +1,10 @@
 package core
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/grid"
+)
 
 // SlicePool is a sync.Pool of slices of one element type. It backs the
 // scratch buffers of the compression/retrieval hot paths and is exported
@@ -55,9 +59,37 @@ func (sp *SlicePool[T]) Put(s []T) {
 // the way to a big one) and lets tiny reads pin huge buffers.
 var (
 	floatScratch  SlicePool[float64] // grid-length work arrays and delta fields
+	work32Scratch SlicePool[float32] // grid-length float32 work arrays
 	levelScratch  SlicePool[float64] // per-level refine deltas (vary by level)
 	int32Scratch  SlicePool[int32]   // quantization index backings
 	uint32Scratch SlicePool[uint32]  // negabinary value scratch (level-sized)
 	byteScratch   SlicePool[byte]    // bitplane backings (multi-MB class)
 	spanScratch   SlicePool[byte]    // block span reads (KB class)
 )
+
+// PoolGet and PoolPut route a scalar-generic slice to the pool matching
+// its element type, given one pool per width. The any-dance costs one type
+// assertion per call, not per element; sibling packages with their own
+// width-segmented pool pairs (the store's tile staging) share this routing
+// instead of growing copies of it.
+func PoolGet[T grid.Scalar](p64 *SlicePool[float64], p32 *SlicePool[float32], n int) []T {
+	var z T
+	if _, ok := any(z).(float32); ok {
+		return any(p32.Get(n)).([]T)
+	}
+	return any(p64.Get(n)).([]T)
+}
+
+// PoolPut returns a slice obtained from PoolGet to the pool of its width.
+func PoolPut[T grid.Scalar](p64 *SlicePool[float64], p32 *SlicePool[float32], s []T) {
+	switch v := any(s).(type) {
+	case []float32:
+		p32.Put(v)
+	case []float64:
+		p64.Put(v)
+	}
+}
+
+// getWork/putWork bind the pair above to the compressor's work pools.
+func getWork[T grid.Scalar](n int) []T { return PoolGet[T](&floatScratch, &work32Scratch, n) }
+func putWork[T grid.Scalar](s []T)     { PoolPut(&floatScratch, &work32Scratch, s) }

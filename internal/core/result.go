@@ -11,11 +11,13 @@ import (
 
 // Result is a progressive reconstruction: the decompressed field at some
 // fidelity plus the state needed to refine it in place by loading further
-// bitplanes (paper Algorithm 2).
+// bitplanes (paper Algorithm 2). The field is held at the archive's native
+// scalar width — exactly one of the two backing slices is non-nil.
 type Result struct {
-	arch *Archive
-	plan Plan
-	data []float64
+	arch   *Archive
+	plan   Plan
+	data64 []float64 // float64 archives
+	data32 []float32 // float32 archives
 	// planes[l-1][p] is the decoded (post-XOR-prediction) packed bitplane p
 	// of level l, nil when not yet loaded. Kept so refinement can undo the
 	// predictive coding of newly loaded planes without re-reading old ones.
@@ -27,18 +29,70 @@ type Result struct {
 	loadedBytes int64
 }
 
-// Grid returns the reconstructed field wrapped in a grid. The backing slice
-// is shared with the result; refinement updates it in place.
-func (r *Result) Grid() *grid.Grid {
-	g, err := grid.FromSlice(r.data, r.arch.Shape())
+// Scalar returns the element type of the reconstruction.
+func (r *Result) Scalar() ScalarType { return r.arch.h.scalar }
+
+// NumElements returns the reconstruction's element count.
+func (r *Result) NumElements() int {
+	if r.data32 != nil {
+		return len(r.data32)
+	}
+	return len(r.data64)
+}
+
+// Grid returns the reconstructed field wrapped in a float64 grid. For
+// float64 archives the backing slice is shared with the result (refinement
+// updates it in place); float32 archives are widened into a fresh copy.
+func (r *Result) Grid() *grid.Grid[float64] {
+	g, err := grid.FromSlice(r.Data(), r.arch.Shape())
 	if err != nil {
 		panic(err) // shape came from the archive; cannot mismatch
 	}
 	return g
 }
 
-// Data returns the reconstructed values in row-major order (shared slice).
-func (r *Result) Data() []float64 { return r.data }
+// Data returns the reconstructed values in row-major order as float64.
+// For float64 archives this is the shared backing slice; for float32
+// archives it is a widened (lossless) copy that does not observe later
+// refinement — use DataFloat32 for the shared native view.
+func (r *Result) Data() []float64 {
+	if r.data32 != nil {
+		return grid.WidenSlice(r.data32)
+	}
+	return r.data64
+}
+
+// DataFloat32 returns the reconstructed values as float32. For float32
+// archives this is the shared backing slice (refinement mutates it in
+// place); for float64 archives it is a narrowed, precision-losing copy.
+func (r *Result) DataFloat32() []float32 {
+	if r.data32 != nil {
+		return r.data32
+	}
+	return grid.NarrowSlice(r.data64)
+}
+
+// DataOf returns the reconstruction as a []T: the shared native backing
+// slice when T matches the archive's scalar type, otherwise a converted
+// copy (widening a float32 archive to float64 is lossless; the reverse
+// narrows). Callers that refine in place and re-read — like the store's
+// chunk cache — must use the archive's native type.
+func DataOf[T grid.Scalar](r *Result) []T {
+	if ScalarOf[T]() == Float32 {
+		return any(r.DataFloat32()).([]T)
+	}
+	return any(r.Data()).([]T)
+}
+
+// setData installs the backing slice for the result's scalar type.
+func setData[T grid.Scalar](r *Result, data []T) {
+	switch d := any(data).(type) {
+	case []float32:
+		r.data32 = d
+	case []float64:
+		r.data64 = d
+	}
+}
 
 // LoadedBytes reports how many archive bytes have been read for this result
 // so far, including the header and all refinements.
@@ -46,7 +100,7 @@ func (r *Result) LoadedBytes() int64 { return r.loadedBytes }
 
 // Bitrate reports the loaded bits per value.
 func (r *Result) Bitrate() float64 {
-	return float64(r.loadedBytes) * 8 / float64(len(r.data))
+	return float64(r.loadedBytes) * 8 / float64(r.NumElements())
 }
 
 // GuaranteedError returns the L∞ bound that the current plan guarantees.
@@ -81,19 +135,28 @@ func (a *Archive) RetrieveBitrate(bitsPerValue float64) (*Result, error) {
 	return a.Retrieve(plan)
 }
 
-// Retrieve reconstructs according to an explicit plan (Algorithm 1).
+// Retrieve reconstructs according to an explicit plan (Algorithm 1), at the
+// archive's native scalar width.
 func (a *Archive) Retrieve(plan Plan) (*Result, error) {
+	if a.h.scalar == Float32 {
+		return retrieveAs[float32](a, plan)
+	}
+	return retrieveAs[float64](a, plan)
+}
+
+func retrieveAs[T grid.Scalar](a *Archive, plan Plan) (*Result, error) {
 	if len(plan.Keep) != a.h.levels {
 		return nil, fmt.Errorf("core: plan has %d levels, archive %d", len(plan.Keep), a.h.levels)
 	}
 	r := &Result{
 		arch:        a,
 		plan:        Plan{Keep: make([]int, a.h.levels)}, // raised by loadPlanes
-		data:        make([]float64, a.h.shape.Len()),
 		planes:      make([][][]byte, a.h.levels),
 		trunc:       make([][]int32, a.h.levels),
 		loadedBytes: a.h.headerSize,
 	}
+	data := make([]T, a.h.shape.Len())
+	setData(r, data)
 	for l := 1; l <= a.h.levels; l++ {
 		m := a.h.metaOf(l)
 		// The kernels below index level buffers by the decomposition's
@@ -127,16 +190,23 @@ func (a *Archive) Retrieve(plan Plan) (*Result, error) {
 	// Algorithm 1: place anchors, then predict level by level, coarse to
 	// fine, adding each level's dequantized (possibly truncated) residual.
 	// Each level runs through the fused pass kernel, sharded across cores.
+	if len(a.h.anchors) < len(a.dec.Anchors()) {
+		return nil, fmt.Errorf("core: anchor table too short")
+	}
+	rebuild(a, data, r.trunc)
+	return r, nil
+}
+
+// rebuild reruns the full reconstruction recursion (anchors, then every
+// level coarse to fine) into data from the current truncated indices. It is
+// the body of Retrieve and of the float32 refinement path.
+func rebuild[T grid.Scalar](a *Archive, data []T, trunc [][]int32) {
 	for i, idx := range a.dec.Anchors() {
-		if i >= len(a.h.anchors) {
-			return nil, fmt.Errorf("core: anchor table too short")
-		}
-		r.data[idx] = a.h.anchors[i]
+		data[idx] = T(a.h.anchors[i])
 	}
 	for l := a.h.levels; l >= 1; l-- {
-		a.applyLevel(r.data, l, r.trunc[l-1])
+		applyLevel(a, data, l, trunc[l-1])
 	}
-	return r, nil
 }
 
 // loadPlanes raises level l's loaded plane count to want, decoding the new
@@ -212,9 +282,16 @@ func (r *Result) loadPlanes(level, want int) error {
 }
 
 // RefineTo raises the result to a finer plan in place (Algorithm 2): only
-// the newly selected bitplanes are loaded; their dequantized index deltas
-// are propagated through the (linear) interpolation operator and added onto
-// the existing reconstruction — a single pass, no re-decoding of old data.
+// the newly selected bitplanes are loaded. For float64 archives their
+// dequantized index deltas are propagated through the (linear)
+// interpolation operator and added onto the existing reconstruction — a
+// single pass, no re-decoding of old data. Float32 reconstruction is not
+// linear (every level rounds to float32), so float32 archives instead
+// rerun the reconstruction recursion from the updated truncated indices:
+// the plane-decode savings — the point of Algorithm 2 — are identical, the
+// grid walk costs the same as the delta propagation would, and the result
+// matches a fresh retrieval of the same plan bit for bit (so refinement
+// never adds error beyond what PlanErrorBound models for that plan).
 //
 // Plans that would *drop* planes at some level are clamped: progressive
 // retrieval only ever adds information.
@@ -222,6 +299,9 @@ func (r *Result) RefineTo(plan Plan) error {
 	a := r.arch
 	if len(plan.Keep) != a.h.levels {
 		return fmt.Errorf("core: plan has %d levels, archive %d", len(plan.Keep), a.h.levels)
+	}
+	if r.data32 != nil {
+		return refineRebuild(r, plan)
 	}
 	// Compute per-level residual deltas for levels that gain planes.
 	deltas := make([][]float64, a.h.levels)
@@ -272,12 +352,12 @@ func (r *Result) RefineTo(plan Plan) error {
 	// Propagate the deltas through the interpolation hierarchy: the
 	// predictor is linear, so reconstructing the delta field and adding it
 	// is equivalent (up to floating-point rounding) to a fresh retrieval.
-	delta := floatScratch.GetZeroed(len(r.data))
+	delta := floatScratch.GetZeroed(len(r.data64))
 	defer floatScratch.Put(delta)
 	for l := changedBelow; l >= 1; l-- {
 		a.propagateLevel(delta, l, deltas[l-1])
 	}
-	data := r.data
+	data := r.data64
 	parallelChunks(len(data), minShardTargets, 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if dv := delta[i]; dv != 0 {
@@ -285,6 +365,29 @@ func (r *Result) RefineTo(plan Plan) error {
 			}
 		}
 	})
+	return nil
+}
+
+// refineRebuild is the float32 refinement path (the float64 path uses
+// delta propagation instead): load the newly selected planes (updating the
+// truncated indices), then rerun the reconstruction recursion in place.
+func refineRebuild(r *Result, plan Plan) error {
+	a := r.arch
+	changed := false
+	for l := 1; l <= a.h.prog; l++ {
+		want := plan.Keep[l-1]
+		if want <= r.plan.Keep[l-1] {
+			continue
+		}
+		if err := r.loadPlanes(l, want); err != nil {
+			return err
+		}
+		changed = true
+	}
+	if !changed {
+		return nil
+	}
+	rebuild(a, r.data32, r.trunc)
 	return nil
 }
 
@@ -301,7 +404,7 @@ func (r *Result) RefineErrorBound(bound float64) error {
 // RefineBitrate refines the result up to a total loaded bitrate budget
 // (bits per value, counting what has already been loaded).
 func (r *Result) RefineBitrate(bitsPerValue float64) error {
-	n := len(r.data)
+	n := r.NumElements()
 	maxBytes := int64(bitsPerValue * float64(n) / 8)
 	plan, err := r.arch.PlanBitrateMode(maxBytes)
 	if err != nil {

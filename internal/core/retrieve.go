@@ -95,6 +95,9 @@ type Archive struct {
 	// weight[l-1] is the optimizer's amplification weight for truncation
 	// loss introduced at level l (see boundWeights).
 	weight []float64
+	// slack bounds the float32 rounding error of truncated reconstructions
+	// (zero for float64 archives); see roundSlack.
+	slack float64
 }
 
 // NewArchive opens an in-memory archive.
@@ -148,6 +151,7 @@ func NewArchiveFrom(src BlockSource) (*Archive, error) {
 		quant: quant.New(h.eb),
 	}
 	a.weight = boundWeights(h, a.mode)
+	a.slack = roundSlack(h, a.weight)
 	return a, nil
 }
 
@@ -156,6 +160,36 @@ func NewArchiveFrom(src BlockSource) (*Archive, error) {
 func (a *Archive) SetBoundMode(m BoundMode) {
 	a.mode = m
 	a.weight = boundWeights(a.h, m)
+	a.slack = roundSlack(a.h, a.weight)
+}
+
+// roundSlack bounds the error a truncated float32 reconstruction adds on
+// top of the truncation model: computing and storing each level in float32
+// injects a per-point rounding error that amplifies through finer levels
+// exactly like truncation loss, so it reuses the same weights. The
+// per-level injection is budgeted at 8 ulps of maxAbs: the cubic predictor
+// evaluates ~6 float32 operations whose intermediates reach ~9·1.25·maxAbs
+// before the /16 (worst-case accumulated rounding ≈ 3 ulp of maxAbs after
+// scaling), plus the k·step multiply-add and the final store (≤ 1 ulp
+// combined) — 8 doubles that worst case for safety, and at ~1e-6 relative
+// the pessimism only matters to retrievals within a few quantization steps
+// of eb. Full-fidelity plans need no slack: they reproduce the encoder's
+// work array bit for bit, and the encoder verified every point against eb
+// as stored.
+func roundSlack(h *header, weight []float64) float64 {
+	if h.scalar != Float32 || h.maxAbs == 0 {
+		return 0
+	}
+	if math.IsNaN(h.maxAbs) || math.IsInf(h.maxAbs, 0) {
+		// Non-finite data: no finite guarantee for truncated plans.
+		return math.Inf(1)
+	}
+	ulp := 8 * h.maxAbs / (1 << 23)
+	s := 0.0
+	for _, w := range weight {
+		s += w * ulp
+	}
+	return s
 }
 
 // boundWeights returns the per-level multiplier applied to a level's
@@ -187,6 +221,15 @@ func (a *Archive) Shape() grid.Shape { return a.h.shape }
 
 // ErrorBound returns the compression-time error bound eb.
 func (a *Archive) ErrorBound() float64 { return a.h.eb }
+
+// Scalar returns the archive's element type.
+func (a *Archive) Scalar() ScalarType { return a.h.scalar }
+
+// FormatVersion returns the archive format version as parsed from the
+// header: 1 for archives this encoder writes for float64 data, 2 for
+// float32 — but a v2 blob that declares float64 (legal, from another
+// writer) reports 2, not what this encoder would have emitted.
+func (a *Archive) FormatVersion() int { return int(a.h.version) }
 
 // NumLevels returns the interpolation level count L.
 func (a *Archive) NumLevels() int { return a.h.levels }
@@ -249,13 +292,24 @@ func (a *Archive) PlanBytes(p Plan) int64 {
 }
 
 // PlanErrorBound returns the guaranteed L∞ bound of the plan:
-// eb + sum_l weight_l · maxDrop_l(dropped) · step.
+// eb + sum_l weight_l · maxDrop_l(dropped) · step, plus — for float32
+// archives whose plan drops any plane — the rounding slack of roundSlack,
+// so the returned bound is conservative at every scalar width. Plans that
+// drop nothing are exact for both widths: full fidelity reproduces the
+// encoder's bound-checked work array bit for bit.
 func (a *Archive) PlanErrorBound(p Plan) float64 {
 	e := a.h.eb
+	truncated := false
 	for l := 1; l <= a.h.levels; l++ {
 		m := a.h.metaOf(l)
 		dropped := m.usedPlanes - p.Keep[l-1]
+		if dropped > 0 {
+			truncated = true
+		}
 		e += a.weight[l-1] * float64(m.maxDrop[dropped]) * a.quant.Step()
+	}
+	if truncated {
+		e += a.slack
 	}
 	return e
 }
@@ -292,7 +346,10 @@ func (a *Archive) PlanErrorBoundMode(bound float64) (Plan, error) {
 	if bound < a.h.eb {
 		return Plan{}, ErrBoundTooTight
 	}
-	budget := bound - a.h.eb
+	// Any plan that truncates pays the float32 rounding slack up front; if
+	// the budget cannot cover it, only the (slack-free, exact) full plan
+	// can honor the bound.
+	budget := bound - a.h.eb - a.slack
 	plan := a.fullPlan()
 	if a.h.prog == 0 || budget <= 0 {
 		return plan, nil

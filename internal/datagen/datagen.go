@@ -22,7 +22,7 @@ type Dataset struct {
 	Domain string
 	// PaperShape is the shape used in the paper's Table 3.
 	PaperShape grid.Shape
-	Grid       *grid.Grid
+	Grid       *grid.Grid[float64]
 }
 
 // Names lists the six fields in the paper's order.
@@ -75,7 +75,7 @@ func Generate(name string, divisor int) (*Dataset, error) {
 }
 
 // GenerateShape builds the named field at an explicit shape.
-func GenerateShape(name string, shape grid.Shape) (*grid.Grid, error) {
+func GenerateShape(name string, shape grid.Shape) (*grid.Grid[float64], error) {
 	if err := shape.Validate(); err != nil {
 		return nil, err
 	}
@@ -130,7 +130,7 @@ func coordinates(shape grid.Shape, fn func(i int, c []float64)) {
 // spectral decay — the classic synthetic turbulence construction. exponent
 // controls how fast fine scales die off (larger = smoother); positive
 // fields (density-like) are exponentiated.
-func turbulence(shape grid.Shape, seed int64, base, exponent float64, positive bool) *grid.Grid {
+func turbulence(shape grid.Shape, seed int64, base, exponent float64, positive bool) *grid.Grid[float64] {
 	r := rand.New(rand.NewSource(seed))
 	nd := len(shape)
 	// The finest octave keeps >= ~16 samples per wavelength at this
@@ -168,7 +168,7 @@ func turbulence(shape grid.Shape, seed int64, base, exponent float64, positive b
 			})
 		}
 	}
-	g := grid.MustNew(shape)
+	g := grid.MustNew[float64](shape)
 	data := g.Data()
 	coordinates(shape, func(i int, c []float64) {
 		v := 0.0
@@ -191,7 +191,7 @@ func turbulence(shape grid.Shape, seed int64, base, exponent float64, positive b
 // wavefield mimics a seismic wavefield snapshot: expanding oscillatory
 // spherical fronts from a few sources over a smooth background velocity
 // structure, with amplitude decaying away from each front.
-func wavefield(shape grid.Shape, seed int64) *grid.Grid {
+func wavefield(shape grid.Shape, seed int64) *grid.Grid[float64] {
 	r := rand.New(rand.NewSource(seed))
 	nd := len(shape)
 	type source struct {
@@ -223,7 +223,7 @@ func wavefield(shape grid.Shape, seed int64) *grid.Grid {
 		}
 	}
 	background := turbulence(shape, seed+1, 0.05, 3.8, false)
-	g := grid.MustNew(shape)
+	g := grid.MustNew[float64](shape)
 	data := g.Data()
 	bg := background.Data()
 	coordinates(shape, func(i int, c []float64) {
@@ -247,9 +247,9 @@ func wavefield(shape grid.Shape, seed int64) *grid.Grid {
 // windSpeed mimics an x-direction wind speed field: strong zonal jets
 // varying with "latitude" (the second axis), modulated by synoptic-scale
 // turbulence and weak small-scale noise.
-func windSpeed(shape grid.Shape, seed int64) *grid.Grid {
+func windSpeed(shape grid.Shape, seed int64) *grid.Grid[float64] {
 	turb := turbulence(shape, seed, 1.0, 3.0, false)
-	g := grid.MustNew(shape)
+	g := grid.MustNew[float64](shape)
 	data := g.Data()
 	td := turb.Data()
 	coordinates(shape, func(i int, c []float64) {
@@ -269,7 +269,7 @@ func windSpeed(shape grid.Shape, seed int64) *grid.Grid {
 // combustion mimics a CH4 mass-fraction field: values in [0,1] with sharp
 // reaction fronts (sigmoid shells) separating burned and unburned regions,
 // plus mild in-region variation.
-func combustion(shape grid.Shape, seed int64) *grid.Grid {
+func combustion(shape grid.Shape, seed int64) *grid.Grid[float64] {
 	r := rand.New(rand.NewSource(seed))
 	nd := len(shape)
 	type pocket struct {
@@ -286,7 +286,7 @@ func combustion(shape grid.Shape, seed int64) *grid.Grid {
 		pockets[p] = pocket{center: ctr, radius: 0.1 + 0.25*r.Float64(), width: 0.01 + 0.02*r.Float64()}
 	}
 	wrinkle := turbulence(shape, seed+2, 0.02, 3.0, false)
-	g := grid.MustNew(shape)
+	g := grid.MustNew[float64](shape)
 	data := g.Data()
 	wd := wrinkle.Data()
 	coordinates(shape, func(i int, c []float64) {

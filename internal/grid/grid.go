@@ -1,8 +1,8 @@
 // Package grid provides the N-dimensional array substrate used by every
-// compressor in this repository. A Grid is a dense row-major float64 array
-// with an explicit shape; it supports up to four dimensions, which covers
-// all datasets in the IPComp paper (they are all 3D) plus the 1D/2D cases
-// exercised by tests and examples.
+// compressor in this repository. A Grid[T] is a dense row-major array of
+// float32 or float64 values with an explicit shape; it supports up to four
+// dimensions, which covers all datasets in the IPComp paper (they are all
+// 3D) plus the 1D/2D cases exercised by tests and examples.
 package grid
 
 import (
@@ -12,6 +12,19 @@ import (
 
 // MaxDims is the maximum number of dimensions supported by Grid.
 const MaxDims = 4
+
+// Scalar is the set of element types a Grid can hold. Scientific datasets
+// are overwhelmingly single-precision; float64 remains the default for the
+// paper's synthetic fields and the sibling reference compressors.
+//
+// The constraint is deliberately exact (no ~): the pipeline's runtime
+// dispatch — pool routing, archive scalar tags, result-slice selection —
+// switches on the dynamic types []float32/[]float64, so a defined type
+// like `type Kelvin float32` must be a compile error here rather than a
+// misclassified width at runtime.
+type Scalar interface {
+	float32 | float64
+}
 
 // Shape describes the extent of a Grid along each dimension, outermost
 // (slowest-varying) first, matching C/row-major order.
@@ -84,28 +97,28 @@ func (s Shape) String() string {
 	return out
 }
 
-// Grid is a dense row-major N-dimensional array of float64 values.
-type Grid struct {
+// Grid is a dense row-major N-dimensional array of Scalar values.
+type Grid[T Scalar] struct {
 	shape   Shape
 	strides []int
-	data    []float64
+	data    []T
 }
 
 // New allocates a zero-filled grid with the given shape.
-func New(shape Shape) (*Grid, error) {
+func New[T Scalar](shape Shape) (*Grid[T], error) {
 	if err := shape.Validate(); err != nil {
 		return nil, err
 	}
-	return &Grid{
+	return &Grid[T]{
 		shape:   shape.Clone(),
 		strides: shape.Strides(),
-		data:    make([]float64, shape.Len()),
+		data:    make([]T, shape.Len()),
 	}, nil
 }
 
 // FromSlice wraps an existing flat slice as a grid without copying.
 // The slice length must equal shape.Len().
-func FromSlice(data []float64, shape Shape) (*Grid, error) {
+func FromSlice[T Scalar](data []T, shape Shape) (*Grid[T], error) {
 	if err := shape.Validate(); err != nil {
 		return nil, err
 	}
@@ -113,13 +126,13 @@ func FromSlice(data []float64, shape Shape) (*Grid, error) {
 		return nil, fmt.Errorf("grid: data length %d does not match shape %v (%d elements)",
 			len(data), shape, shape.Len())
 	}
-	return &Grid{shape: shape.Clone(), strides: shape.Strides(), data: data}, nil
+	return &Grid[T]{shape: shape.Clone(), strides: shape.Strides(), data: data}, nil
 }
 
 // MustNew is New but panics on error; intended for tests and examples where
 // the shape is a compile-time constant.
-func MustNew(shape Shape) *Grid {
-	g, err := New(shape)
+func MustNew[T Scalar](shape Shape) *Grid[T] {
+	g, err := New[T](shape)
 	if err != nil {
 		panic(err)
 	}
@@ -127,24 +140,24 @@ func MustNew(shape Shape) *Grid {
 }
 
 // Shape returns the grid's shape. The caller must not mutate it.
-func (g *Grid) Shape() Shape { return g.shape }
+func (g *Grid[T]) Shape() Shape { return g.shape }
 
 // NDims returns the number of dimensions.
-func (g *Grid) NDims() int { return len(g.shape) }
+func (g *Grid[T]) NDims() int { return len(g.shape) }
 
 // Len returns the total number of elements.
-func (g *Grid) Len() int { return len(g.data) }
+func (g *Grid[T]) Len() int { return len(g.data) }
 
 // Data returns the backing flat slice in row-major order.
-func (g *Grid) Data() []float64 { return g.data }
+func (g *Grid[T]) Data() []T { return g.data }
 
 // Strides returns the element stride of each dimension.
-func (g *Grid) Strides() []int { return g.strides }
+func (g *Grid[T]) Strides() []int { return g.strides }
 
 // Offset converts multi-dimensional indices to a flat offset. Indices must
 // have the same rank as the grid; bounds are checked only by the slice
 // access that follows.
-func (g *Grid) Offset(idx ...int) int {
+func (g *Grid[T]) Offset(idx ...int) int {
 	off := 0
 	for i, x := range idx {
 		off += x * g.strides[i]
@@ -153,14 +166,14 @@ func (g *Grid) Offset(idx ...int) int {
 }
 
 // At returns the value at the given multi-dimensional index.
-func (g *Grid) At(idx ...int) float64 { return g.data[g.Offset(idx...)] }
+func (g *Grid[T]) At(idx ...int) T { return g.data[g.Offset(idx...)] }
 
 // Set stores a value at the given multi-dimensional index.
-func (g *Grid) Set(v float64, idx ...int) { g.data[g.Offset(idx...)] = v }
+func (g *Grid[T]) Set(v T, idx ...int) { g.data[g.Offset(idx...)] = v }
 
 // Clone returns a deep copy of the grid.
-func (g *Grid) Clone() *Grid {
-	data := make([]float64, len(g.data))
+func (g *Grid[T]) Clone() *Grid[T] {
+	data := make([]T, len(g.data))
 	copy(data, g.data)
 	out, _ := FromSlice(data, g.shape)
 	return out
@@ -168,7 +181,7 @@ func (g *Grid) Clone() *Grid {
 
 // Range returns the minimum and maximum values of the grid. For an empty
 // grid both returns are zero (cannot happen for validated shapes).
-func (g *Grid) Range() (lo, hi float64) {
+func (g *Grid[T]) Range() (lo, hi T) {
 	if len(g.data) == 0 {
 		return 0, 0
 	}
@@ -185,7 +198,42 @@ func (g *Grid) Range() (lo, hi float64) {
 }
 
 // ValueRange returns hi-lo, the span used to derive relative error bounds.
-func (g *Grid) ValueRange() float64 {
+// The subtraction is carried out in float64 regardless of T so bound
+// arithmetic stays exact for float32 grids.
+func (g *Grid[T]) ValueRange() float64 {
 	lo, hi := g.Range()
-	return hi - lo
+	return float64(hi) - float64(lo)
+}
+
+// WidenSlice converts a slice to float64 into a fresh slice (lossless for
+// float32 inputs; a float64 input still copies, so mutations never alias).
+func WidenSlice[T Scalar](src []T) []float64 {
+	out := make([]float64, len(src))
+	for i, v := range src {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// NarrowSlice converts a slice to float32 into a fresh slice, rounding
+// float64 inputs.
+func NarrowSlice[T Scalar](src []T) []float32 {
+	out := make([]float32, len(src))
+	for i, v := range src {
+		out[i] = float32(v)
+	}
+	return out
+}
+
+// Widen converts the grid to float64, copying the data. A float64 grid
+// still copies, so mutations never alias.
+func Widen[T Scalar](g *Grid[T]) *Grid[float64] {
+	out, _ := FromSlice(WidenSlice(g.data), g.shape)
+	return out
+}
+
+// Narrow converts the grid to float32, copying (and rounding) the data.
+func Narrow[T Scalar](g *Grid[T]) *Grid[float32] {
+	out, _ := FromSlice(NarrowSlice(g.data), g.shape)
+	return out
 }

@@ -46,7 +46,7 @@ func TestShapeEqualClone(t *testing.T) {
 }
 
 func TestGridAtSetOffset(t *testing.T) {
-	g := MustNew(Shape{2, 3, 4})
+	g := MustNew[float64](Shape{2, 3, 4})
 	g.Set(42, 1, 2, 3)
 	if g.At(1, 2, 3) != 42 {
 		t.Error("At/Set mismatch")
@@ -73,7 +73,7 @@ func TestFromSliceValidation(t *testing.T) {
 }
 
 func TestCloneIndependence(t *testing.T) {
-	g := MustNew(Shape{4})
+	g := MustNew[float64](Shape{4})
 	g.Set(1, 2)
 	c := g.Clone()
 	c.Set(9, 2)
@@ -83,7 +83,7 @@ func TestCloneIndependence(t *testing.T) {
 }
 
 func TestRange(t *testing.T) {
-	g := MustNew(Shape{4})
+	g := MustNew[float64](Shape{4})
 	copy(g.Data(), []float64{3, -1, 7, 2})
 	lo, hi := g.Range()
 	if lo != -1 || hi != 7 {
@@ -97,5 +97,37 @@ func TestRange(t *testing.T) {
 func TestShapeString(t *testing.T) {
 	if s := (Shape{2, 3}).String(); s != "2x3" {
 		t.Errorf("String = %q", s)
+	}
+}
+
+func TestGridFloat32(t *testing.T) {
+	g := MustNew[float32](Shape{2, 3})
+	g.Set(1.5, 1, 2)
+	if g.At(1, 2) != 1.5 {
+		t.Error("f32 At/Set mismatch")
+	}
+	copy(g.Data(), []float32{3, -1, 7, 2, 0, 1})
+	lo, hi := g.Range()
+	if lo != -1 || hi != 7 {
+		t.Errorf("Range = %v, %v", lo, hi)
+	}
+	if g.ValueRange() != 8 {
+		t.Errorf("ValueRange = %v", g.ValueRange())
+	}
+	w := Widen(g)
+	if w.At(0, 2) != 7 || !w.Shape().Equal(g.Shape()) {
+		t.Error("Widen mismatch")
+	}
+	n := Narrow(w)
+	for i, v := range n.Data() {
+		if v != g.Data()[i] {
+			t.Errorf("Narrow(Widen) not identity at %d: %v vs %v", i, v, g.Data()[i])
+		}
+	}
+	// Widen must not alias even for float64 inputs.
+	w2 := Widen(w)
+	w2.Set(99, 0, 0)
+	if w.At(0, 0) == 99 {
+		t.Error("Widen aliases float64 input")
 	}
 }

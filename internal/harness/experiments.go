@@ -60,7 +60,7 @@ func Table2(cfg Config) (*Table, error) {
 // quantizedNegabinary runs the interpolation+quantization front end and
 // returns the negabinary codes of the finest level's residuals (the bulk of
 // the data and the paper's Table 2 subject).
-func quantizedNegabinary(g *grid.Grid, eb float64) ([]uint32, error) {
+func quantizedNegabinary(g *grid.Grid[float64], eb float64) ([]uint32, error) {
 	dec, err := interp.NewDecomposition(g.Shape())
 	if err != nil {
 		return nil, err

@@ -114,7 +114,7 @@ type Progressive interface {
 	Name() string
 	// Compress builds internal state for the grid at bound eb and returns
 	// the total archive size.
-	Compress(g *grid.Grid, eb float64) (int64, error)
+	Compress(g *grid.Grid[float64], eb float64) (int64, error)
 	// RetrieveErrorBound returns the reconstruction for bound e, the bytes
 	// loaded, and the number of decompression passes executed.
 	RetrieveErrorBound(e float64) ([]float64, int64, int, error)
@@ -134,7 +134,7 @@ func NewIPComp() Progressive { return &ipcompAdapter{} }
 
 func (a *ipcompAdapter) Name() string { return "IPComp" }
 
-func (a *ipcompAdapter) Compress(g *grid.Grid, eb float64) (int64, error) {
+func (a *ipcompAdapter) Compress(g *grid.Grid[float64], eb float64) (int64, error) {
 	blob, err := core.Compress(g, core.Options{ErrorBound: eb, Interpolation: interp.Cubic})
 	if err != nil {
 		return 0, err
@@ -194,7 +194,7 @@ func NewSPERRR(rungs int) Progressive {
 
 func (a *residualAdapter) Name() string { return a.name }
 
-func (a *residualAdapter) Compress(g *grid.Grid, eb float64) (int64, error) {
+func (a *residualAdapter) Compress(g *grid.Grid[float64], eb float64) (int64, error) {
 	arch, err := residual.CompressResidual(a.codec, g, residual.Ladder(eb, a.rungs))
 	if err != nil {
 		return 0, err
@@ -234,7 +234,7 @@ func NewSZ3M(rungs int) Progressive {
 
 func (a *multiAdapter) Name() string { return "SZ3-M" }
 
-func (a *multiAdapter) Compress(g *grid.Grid, eb float64) (int64, error) {
+func (a *multiAdapter) Compress(g *grid.Grid[float64], eb float64) (int64, error) {
 	arch, err := residual.CompressMulti(a.codec, g, residual.Ladder(eb, a.rungs))
 	if err != nil {
 		return 0, err
@@ -270,7 +270,7 @@ func NewPMGARD() Progressive { return &pmgardAdapter{} }
 
 func (a *pmgardAdapter) Name() string { return "PMGARD" }
 
-func (a *pmgardAdapter) Compress(g *grid.Grid, eb float64) (int64, error) {
+func (a *pmgardAdapter) Compress(g *grid.Grid[float64], eb float64) (int64, error) {
 	arch, err := mgard.CompressProgressive(g, eb)
 	if err != nil {
 		return 0, err

@@ -87,7 +87,7 @@ func TestLevelCountSums(t *testing.T) {
 // fields exactly (away from copy-boundary), so residuals must be ~0.
 func TestPredictionExactOnLinearField(t *testing.T) {
 	shape := grid.Shape{17, 17}
-	g := grid.MustNew(shape)
+	g := grid.MustNew[float64](shape)
 	for i := 0; i < 17; i++ {
 		for j := 0; j < 17; j++ {
 			g.Set(2*float64(i)+3*float64(j)+1, i, j)

@@ -44,9 +44,13 @@ type Run struct {
 }
 
 // Predict evaluates the run's prediction formula for the point at flat
-// index f. It is the single source of truth that kernels inline by
-// switching on Mode once per run instead of once per point.
-func (r *Run) Predict(data []float64, f int) float64 {
+// index f, in T's native arithmetic. It is the single source of truth that
+// kernels inline by switching on Mode once per run instead of once per
+// point. For float64 the expressions are unchanged from the scalar
+// predictor, so archives stay bit-identical; for float32 the prediction is
+// only an estimate anyway — the quantizer's float64 bound check (see
+// internal/core kernels) is what keeps the error guarantee exact.
+func Predict[T grid.Scalar](r *Run, data []T, f int) T {
 	switch r.Mode {
 	case RunCubic:
 		return (-data[f-r.Off3] + 9*data[f-r.Off1] +
@@ -57,6 +61,10 @@ func (r *Run) Predict(data []float64, f int) float64 {
 		return 0.5 * (data[f-r.Off1] + data[f+r.Off1])
 	}
 }
+
+// Predict is the float64 form of the generic Predict function, kept as a
+// method for the VisitLevel shim and the sibling float64-only compressors.
+func (r *Run) Predict(data []float64, f int) float64 { return Predict(r, data, f) }
 
 // Pass is one dimension pass of one level: the set of points whose
 // coordinate along Dim is an odd multiple of the level stride s, whose

@@ -11,7 +11,7 @@ type Codec interface {
 	Name() string
 	// Compress encodes g such that decompression reconstructs every value
 	// within the absolute error bound eb.
-	Compress(g *grid.Grid, eb float64) ([]byte, error)
+	Compress(g *grid.Grid[float64], eb float64) ([]byte, error)
 	// Decompress reconstructs a grid of the given shape from blob.
-	Decompress(blob []byte, shape grid.Shape) (*grid.Grid, error)
+	Decompress(blob []byte, shape grid.Shape) (*grid.Grid[float64], error)
 }

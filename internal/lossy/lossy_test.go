@@ -20,8 +20,8 @@ func codecs() []lossy.Codec {
 	return []lossy.Codec{sz3.New(), zfp.New(), mgard.New(), sperr.New()}
 }
 
-func smoothField(shape grid.Shape, seed int64) *grid.Grid {
-	g := grid.MustNew(shape)
+func smoothField(shape grid.Shape, seed int64) *grid.Grid[float64] {
+	g := grid.MustNew[float64](shape)
 	r := rand.New(rand.NewSource(seed))
 	n1 := r.Float64()*4 + 1
 	n2 := r.Float64()*9 + 3

@@ -57,7 +57,7 @@ func levelBounds(eb float64, levels, ndims int) []float64 {
 }
 
 // Compress implements lossy.Codec.
-func (c *Codec) Compress(g *grid.Grid, eb float64) ([]byte, error) {
+func (c *Codec) Compress(g *grid.Grid[float64], eb float64) ([]byte, error) {
 	a, err := CompressProgressive(g, eb)
 	if err != nil {
 		return nil, err
@@ -66,7 +66,7 @@ func (c *Codec) Compress(g *grid.Grid, eb float64) ([]byte, error) {
 }
 
 // Decompress implements lossy.Codec.
-func (c *Codec) Decompress(blob []byte, shape grid.Shape) (*grid.Grid, error) {
+func (c *Codec) Decompress(blob []byte, shape grid.Shape) (*grid.Grid[float64], error) {
 	a, err := Unmarshal(blob)
 	if err != nil {
 		return nil, err
@@ -99,7 +99,7 @@ type Archive struct {
 }
 
 // CompressProgressive builds the PMGARD archive.
-func CompressProgressive(g *grid.Grid, eb float64) (*Archive, error) {
+func CompressProgressive(g *grid.Grid[float64], eb float64) (*Archive, error) {
 	if !(eb > 0) || math.IsInf(eb, 0) {
 		return nil, fmt.Errorf("mgard: error bound must be positive and finite, got %v", eb)
 	}
@@ -192,7 +192,7 @@ func (a *Archive) TotalSize() int64 { return int64(len(a.Marshal())) }
 
 // Retrieval is a PMGARD progressive reconstruction.
 type Retrieval struct {
-	Data        *grid.Grid
+	Data        *grid.Grid[float64]
 	LoadedBytes int64
 	Bound       float64
 }
@@ -210,7 +210,7 @@ func (a *Archive) RetrieveErrorBound(e float64) (*Retrieval, error) {
 	if err != nil {
 		return nil, err
 	}
-	g, err := grid.New(a.Shape)
+	g, err := grid.New[float64](a.Shape)
 	if err != nil {
 		return nil, err
 	}

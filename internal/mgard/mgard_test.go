@@ -7,8 +7,8 @@ import (
 	"repro/internal/grid"
 )
 
-func field(shape grid.Shape) *grid.Grid {
-	g := grid.MustNew(shape)
+func field(shape grid.Shape) *grid.Grid[float64] {
+	g := grid.MustNew[float64](shape)
 	data := g.Data()
 	strides := shape.Strides()
 	for i := range data {

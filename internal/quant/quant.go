@@ -13,6 +13,7 @@ package quant
 import (
 	"math"
 
+	"repro/internal/grid"
 	"repro/internal/nb"
 )
 
@@ -66,20 +67,42 @@ func (q Quantizer) Dequantize(k int32) float64 {
 // Compressors must continue predicting from the reconstructed value, not the
 // original, so that decompression sees identical predictions. ok is false on
 // outlier escape, in which case recon equals the original value exactly.
+//
+// The method delegates to the generic form: instantiated at float64 every
+// generic expression reduces to plain float64 arithmetic, so there is one
+// copy of the guarantee-critical sequence, not two that could drift.
 func (q Quantizer) QuantizeReconstruct(orig, pred float64) (k int32, recon float64, ok bool) {
-	f := (orig - pred) * q.invStep
+	return QuantizeReconstruct(q, orig, pred)
+}
+
+// QuantizeReconstruct is the scalar-generic form of the method above. The
+// residual and reconstruction arithmetic runs at T's native width (for
+// float64 the expression sequence is the original float64 one, keeping
+// archives bit-identical; for float32 it skips per-point widen/narrow
+// chatter). The residual is scaled in T and then widened for the window
+// test — the widening is exact, so math.Round of an in-window value can
+// never produce an index outside the negabinary window — and the bound
+// check runs in float64 against the value as actually stored in T, so a
+// float32 rounding artifact can never silently break the guarantee: any
+// violation escapes through the outlier path.
+func QuantizeReconstruct[T grid.Scalar](q Quantizer, orig, pred T) (k int32, recon T, ok bool) {
+	f := float64((orig - pred) * T(q.invStep))
 	if !(f >= -nb.MaxIndex && f <= nb.MaxIndex) {
-		// Outside the safe negabinary window, or non-finite (NaN compares
-		// false): escape through the outlier path.
 		return 0, orig, false
 	}
 	k = int32(math.Round(f))
-	recon = pred + float64(k)*q.step
-	// Floating-point rounding in pred + k*step can nudge the result just
-	// outside the bound for extreme magnitudes; fall back to the outlier
-	// path in that case to keep the guarantee unconditional.
-	if d := recon - orig; d > q.eb || d < -q.eb {
+	recon = pred + T(k)*T(q.step)
+	if d := float64(recon) - float64(orig); d > q.eb || d < -q.eb {
 		return 0, orig, false
 	}
 	return k, recon, true
+}
+
+// DequantizeApply reconstructs a value from its prediction and (possibly
+// truncated) quantization index: pred + k·step at T's native width. This
+// is the retrieval-side counterpart of QuantizeReconstruct and evaluates
+// exactly the expression compression's work array did, or decompression
+// would drift from the encoder's simulated reconstruction.
+func DequantizeApply[T grid.Scalar](q Quantizer, pred T, k int32) T {
+	return pred + T(k)*T(q.step)
 }

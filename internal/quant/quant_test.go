@@ -84,3 +84,52 @@ func TestStepAndBoundAccessors(t *testing.T) {
 		t.Errorf("Step = %v", q.Step())
 	}
 }
+
+func TestQuantizeReconstructGeneric(t *testing.T) {
+	q := New(1e-3)
+	// For float64 the generic function must agree exactly with the method.
+	for _, c := range []struct{ orig, pred float64 }{
+		{1.234567, 1.2}, {-5, -4.9}, {1e9, 0}, {0.5, 0.5},
+	} {
+		k1, r1, ok1 := q.QuantizeReconstruct(c.orig, c.pred)
+		k2, r2, ok2 := QuantizeReconstruct(q, c.orig, c.pred)
+		if k1 != k2 || r1 != r2 || ok1 != ok2 {
+			t.Errorf("generic float64 diverges for %+v: (%d,%g,%v) vs (%d,%g,%v)",
+				c, k1, r1, ok1, k2, r2, ok2)
+		}
+	}
+	// For float32 the reconstructed value must stay within the bound as
+	// stored, or escape through the outlier path.
+	for _, c := range []struct{ orig, pred float32 }{
+		{1.2345, 1.2}, {-5, -4.9}, {1e9, 0}, {0.25, 0.25}, {3.0000001, 3},
+	} {
+		k, recon, ok := QuantizeReconstruct(q, c.orig, c.pred)
+		if !ok {
+			if recon != c.orig {
+				t.Errorf("outlier escape must return the original, got %v for %v", recon, c.orig)
+			}
+			continue
+		}
+		if d := float64(recon) - float64(c.orig); d > q.ErrorBound() || d < -q.ErrorBound() {
+			t.Errorf("float32 recon %v off by %g > eb for %+v (k=%d)", recon, d, c, k)
+		}
+		if want := DequantizeApply(q, c.pred, k); want != recon {
+			t.Errorf("DequantizeApply disagrees with QuantizeReconstruct: %v vs %v", want, recon)
+		}
+	}
+	// A float32 residual just under the bound in float64 that rounds
+	// outside it in float32 storage must escape, keeping the guarantee
+	// unconditional.
+	tiny := New(1e-8)
+	for i := 0; i < 1000; i++ {
+		orig := float32(3) + float32(i)*1e-5
+		_, recon, ok := QuantizeReconstruct(tiny, orig, float32(3))
+		if ok {
+			if d := float64(recon) - float64(orig); d > tiny.ErrorBound() || d < -tiny.ErrorBound() {
+				t.Fatalf("bound broken at i=%d: recon %v orig %v", i, recon, orig)
+			}
+		} else if recon != orig {
+			t.Fatalf("escape must be exact at i=%d", i)
+		}
+	}
+}

@@ -67,7 +67,7 @@ type Archive struct {
 // data at Bounds[0]; blob i>0 encodes the reconstruction error left after
 // pass i-1, at Bounds[i]. Total decompression across all passes satisfies
 // the final bound.
-func CompressResidual(c lossy.Codec, g *grid.Grid, bounds []float64) (*Archive, error) {
+func CompressResidual(c lossy.Codec, g *grid.Grid[float64], bounds []float64) (*Archive, error) {
 	if err := validateBounds(bounds); err != nil {
 		return nil, err
 	}
@@ -93,7 +93,7 @@ func CompressResidual(c lossy.Codec, g *grid.Grid, bounds []float64) (*Archive, 
 
 // CompressMulti builds a multi-fidelity (SZ3-M style) archive: one
 // independent compression per bound.
-func CompressMulti(c lossy.Codec, g *grid.Grid, bounds []float64) (*Archive, error) {
+func CompressMulti(c lossy.Codec, g *grid.Grid[float64], bounds []float64) (*Archive, error) {
 	if err := validateBounds(bounds); err != nil {
 		return nil, err
 	}
@@ -134,7 +134,7 @@ func (a *Archive) TotalSize() int64 {
 
 // Retrieval describes what one multi-fidelity request costed.
 type Retrieval struct {
-	Data *grid.Grid
+	Data *grid.Grid[float64]
 	// Bound is the error bound the loaded passes guarantee.
 	Bound float64
 	// LoadedBytes counts the compressed bytes read for this request.
@@ -186,7 +186,7 @@ func (a *Archive) RetrieveBitrate(c lossy.Codec, maxBytes int64) (*Retrieval, er
 
 func (a *Archive) retrieveRung(c lossy.Codec, rung int) (*Retrieval, error) {
 	if a.Residual {
-		out, err := grid.New(a.Shape)
+		out, err := grid.New[float64](a.Shape)
 		if err != nil {
 			return nil, err
 		}

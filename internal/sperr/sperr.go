@@ -40,7 +40,7 @@ func (c *Codec) Name() string { return "SPERR" }
 const stepDivisor = 4
 
 // Compress implements lossy.Codec.
-func (c *Codec) Compress(g *grid.Grid, eb float64) ([]byte, error) {
+func (c *Codec) Compress(g *grid.Grid[float64], eb float64) ([]byte, error) {
 	if !(eb > 0) || math.IsInf(eb, 0) {
 		return nil, fmt.Errorf("sperr: error bound must be positive and finite, got %v", eb)
 	}
@@ -109,7 +109,7 @@ func (c *Codec) Compress(g *grid.Grid, eb float64) ([]byte, error) {
 }
 
 // Decompress implements lossy.Codec.
-func (c *Codec) Decompress(blob []byte, shape grid.Shape) (*grid.Grid, error) {
+func (c *Codec) Decompress(blob []byte, shape grid.Shape) (*grid.Grid[float64], error) {
 	r := bytes.NewReader(blob)
 	rd := func(v interface{}) error { return binary.Read(r, binary.LittleEndian, v) }
 	var m uint32
@@ -187,8 +187,8 @@ func (c *Codec) Decompress(blob []byte, shape grid.Shape) (*grid.Grid, error) {
 }
 
 // reconstruct dequantizes coefficients and applies the inverse transform.
-func reconstruct(ks []int32, wOutIdx []uint32, wOutVal []float64, shape grid.Shape, levels int, q quant.Quantizer) (*grid.Grid, error) {
-	g, err := grid.New(shape)
+func reconstruct(ks []int32, wOutIdx []uint32, wOutVal []float64, shape grid.Shape, levels int, q quant.Quantizer) (*grid.Grid[float64], error) {
+	g, err := grid.New[float64](shape)
 	if err != nil {
 		return nil, err
 	}

@@ -7,8 +7,8 @@ import (
 	"repro/internal/grid"
 )
 
-func field(shape grid.Shape) *grid.Grid {
-	g := grid.MustNew(shape)
+func field(shape grid.Shape) *grid.Grid[float64] {
+	g := grid.MustNew[float64](shape)
 	data := g.Data()
 	strides := shape.Strides()
 	for i := range data {
@@ -79,7 +79,7 @@ func TestOutlierCorrectionKicksIn(t *testing.T) {
 func TestHugeValuesEscapeCoefficientQuantizer(t *testing.T) {
 	c := New()
 	shape := grid.Shape{16, 16}
-	g := grid.MustNew(shape)
+	g := grid.MustNew[float64](shape)
 	for i := range g.Data() {
 		g.Data()[i] = 1e15 // large constant: coefficients overflow the index window
 	}

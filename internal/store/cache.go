@@ -13,11 +13,17 @@ import (
 const DefaultCacheBytes = 256 << 20
 
 // cachedBytesPerElem is what one cached element is charged against the
-// budget. A cached core.Result holds the decoded values (8 B/elem) plus
-// the refinement state that makes in-place tightening possible: per-elem
-// int32 truncated indices (4 B) and the packed bitplanes kept for
-// predictive decoding (up to ~4 B). 16 B/elem keeps the budget honest.
-const cachedBytesPerElem = 16
+// budget. A cached core.Result holds the decoded values (8 or 4 B/elem by
+// scalar width) plus the refinement state that makes in-place tightening
+// possible: per-elem int32 truncated indices (4 B) and the packed
+// bitplanes kept for predictive decoding (up to ~4 B). 16 B/elem (12 for
+// float32 tiles) keeps the budget honest.
+func cachedBytesPerElem(s core.ScalarType) int64 {
+	if s == core.Float32 {
+		return 12
+	}
+	return 16
+}
 
 // chunkKey identifies one tile of one dataset.
 type chunkKey struct {

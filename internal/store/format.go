@@ -29,14 +29,30 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/core"
 	"repro/internal/grid"
 )
 
 // Magic identifies IPComp store containers ("IPCS" little-endian).
 const Magic = 0x53435049
 
-// Version is the container format version produced by this package.
-const Version = 1
+// Container format versions. Version 2 adds a scalar-type byte to every
+// dataset index entry, so a container can mix float32 and float64 datasets;
+// chunk blobs are ordinary IPComp archives at the dataset's width.
+//
+// The preamble always carries version 1 — the framing (preamble, chunk
+// blobs, tail index, footer) is unchanged by v2 — and the footer, written
+// at Close when every dataset's width is known, carries the version that
+// governs the index: 1 when all datasets are float64 (byte-identical to
+// pre-v2 output, so old readers keep working), 2 as soon as any dataset is
+// float32. The reader accepts both and parses the index by the footer
+// version.
+const (
+	// Version1 is the original float64-only container format.
+	Version1 = 1
+	// Version is the current container format.
+	Version = 2
+)
 
 const (
 	preambleSize = 8
@@ -56,8 +72,9 @@ type chunkRecord struct {
 type datasetMeta struct {
 	name   string
 	shape  grid.Shape
-	chunk  grid.Shape // nominal chunk shape
-	eb     float64    // compression-time absolute error bound
+	chunk  grid.Shape      // nominal chunk shape
+	scalar core.ScalarType // element type of every chunk archive
+	eb     float64         // compression-time absolute error bound
 	til    *tiling
 	chunks []chunkRecord // row-major chunk order, len == til.n
 }
@@ -74,7 +91,7 @@ func (ds *datasetMeta) compressedBytes() int64 {
 func marshalPreamble() []byte {
 	p := make([]byte, preambleSize)
 	binary.LittleEndian.PutUint32(p, Magic)
-	p[4] = Version
+	p[4] = Version1 // framing version; the index version lives in the footer
 	return p
 }
 
@@ -85,37 +102,50 @@ func checkPreamble(p []byte) error {
 	if binary.LittleEndian.Uint32(p) != Magic {
 		return fmt.Errorf("store: bad container magic %#x", binary.LittleEndian.Uint32(p))
 	}
-	if p[4] != Version {
+	if p[4] != Version1 && p[4] != Version {
 		return fmt.Errorf("store: unsupported container version %d", p[4])
 	}
 	return nil
 }
 
-func marshalFooter(indexOff, indexSize int64) []byte {
+func marshalFooter(indexOff, indexSize int64, version uint8) []byte {
 	f := make([]byte, footerSize)
 	binary.LittleEndian.PutUint64(f, uint64(indexOff))
 	binary.LittleEndian.PutUint64(f[8:], uint64(indexSize))
 	binary.LittleEndian.PutUint32(f[16:], Magic)
-	f[20] = Version
+	f[20] = version
 	return f
 }
 
-func unmarshalFooter(f []byte) (indexOff, indexSize int64, err error) {
+// unmarshalFooter returns the index extent and the container version that
+// governs how the index is parsed.
+func unmarshalFooter(f []byte) (indexOff, indexSize int64, version uint8, err error) {
 	if len(f) != footerSize {
-		return 0, 0, errCorrupt
+		return 0, 0, 0, errCorrupt
 	}
 	if binary.LittleEndian.Uint32(f[16:]) != Magic {
-		return 0, 0, fmt.Errorf("store: bad footer magic %#x", binary.LittleEndian.Uint32(f[16:]))
+		return 0, 0, 0, fmt.Errorf("store: bad footer magic %#x", binary.LittleEndian.Uint32(f[16:]))
 	}
-	if f[20] != Version {
-		return 0, 0, fmt.Errorf("store: unsupported container version %d", f[20])
+	if f[20] != Version1 && f[20] != Version {
+		return 0, 0, 0, fmt.Errorf("store: unsupported container version %d", f[20])
 	}
-	return int64(binary.LittleEndian.Uint64(f)), int64(binary.LittleEndian.Uint64(f[8:])), nil
+	return int64(binary.LittleEndian.Uint64(f)), int64(binary.LittleEndian.Uint64(f[8:])), f[20], nil
 }
 
 var errCorrupt = errors.New("store: corrupt container")
 
-func marshalIndex(datasets []*datasetMeta) []byte {
+// indexVersion returns the lowest container version able to represent the
+// datasets: v1 unless a non-float64 dataset needs the scalar byte.
+func indexVersion(datasets []*datasetMeta) uint8 {
+	for _, ds := range datasets {
+		if ds.scalar != core.Float64 {
+			return Version
+		}
+	}
+	return Version1
+}
+
+func marshalIndex(datasets []*datasetMeta, version uint8) []byte {
 	var buf bytes.Buffer
 	w := func(v interface{}) { binary.Write(&buf, binary.LittleEndian, v) }
 	w(uint32(len(datasets)))
@@ -123,6 +153,9 @@ func marshalIndex(datasets []*datasetMeta) []byte {
 		w(uint16(len(ds.name)))
 		buf.WriteString(ds.name)
 		w(uint8(len(ds.shape)))
+		if version >= Version {
+			w(uint8(ds.scalar)) // element type of this dataset's chunks
+		}
 		for _, e := range ds.shape {
 			w(uint32(e))
 		}
@@ -201,7 +234,7 @@ func (r *indexReader) f64() (float64, error) {
 	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
 }
 
-func unmarshalIndex(raw []byte, containerSize int64) ([]*datasetMeta, error) {
+func unmarshalIndex(raw []byte, containerSize int64, version uint8) ([]*datasetMeta, error) {
 	r := &indexReader{b: raw}
 	nds, err := r.u32()
 	if err != nil {
@@ -233,10 +266,22 @@ func unmarshalIndex(raw []byte, containerSize int64) ([]*datasetMeta, error) {
 		if rank == 0 || int(rank) > grid.MaxDims {
 			return nil, fmt.Errorf("store: dataset %q has invalid rank %d", nameB, rank)
 		}
+		scalar := core.Float64 // v1 containers are float64 throughout
+		if version >= Version {
+			sb, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			if core.ScalarType(sb) != core.Float64 && core.ScalarType(sb) != core.Float32 {
+				return nil, fmt.Errorf("store: dataset %q has unknown scalar type %d", nameB, sb)
+			}
+			scalar = core.ScalarType(sb)
+		}
 		ds := &datasetMeta{
-			name:  string(nameB),
-			shape: make(grid.Shape, rank),
-			chunk: make(grid.Shape, rank),
+			name:   string(nameB),
+			shape:  make(grid.Shape, rank),
+			chunk:  make(grid.Shape, rank),
+			scalar: scalar,
 		}
 		for d := range ds.shape {
 			e, err := r.u32()

@@ -1,9 +1,18 @@
 package store
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/internal/grid"
+)
 
-// tileScratch pools the per-tile staging buffers of Writer.AddGrid, on the
-// same SlicePool that backs core's own scratch. Tiles of one dataset share
-// a shape, so the pooled buffers converge to the tile size and pack jobs
-// stop allocating a fresh sub-grid per chunk.
-var tileScratch core.SlicePool[float64]
+// tileScratch pools the per-tile staging buffers of Add, on the same
+// SlicePool that backs core's own scratch, segmented by element type.
+// Tiles of one dataset share a shape, so the pooled buffers converge to
+// the tile size and pack jobs stop allocating a fresh sub-grid per chunk.
+var (
+	tileScratch   core.SlicePool[float64]
+	tileScratch32 core.SlicePool[float32]
+)
+
+func getTile[T grid.Scalar](n int) []T { return core.PoolGet[T](&tileScratch, &tileScratch32, n) }
+func putTile[T grid.Scalar](s []T)     { core.PoolPut(&tileScratch, &tileScratch32, s) }

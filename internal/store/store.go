@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/grid"
 )
 
 // Store reads a chunked container through io.ReaderAt. Opening parses only
@@ -36,7 +37,7 @@ func Open(r io.ReaderAt, size int64) (*Store, error) {
 	if _, err := r.ReadAt(foot, size-footerSize); err != nil {
 		return nil, err
 	}
-	indexOff, indexSize, err := unmarshalFooter(foot)
+	indexOff, indexSize, version, err := unmarshalFooter(foot)
 	if err != nil {
 		return nil, err
 	}
@@ -48,7 +49,7 @@ func Open(r io.ReaderAt, size int64) (*Store, error) {
 	if _, err := r.ReadAt(raw, indexOff); err != nil {
 		return nil, err
 	}
-	metas, err := unmarshalIndex(raw, indexOff)
+	metas, err := unmarshalIndex(raw, indexOff, version)
 	if err != nil {
 		return nil, err
 	}
@@ -73,6 +74,7 @@ type DatasetInfo struct {
 	Name            string
 	Shape           []int
 	ChunkShape      []int
+	Scalar          core.ScalarType
 	ErrorBound      float64
 	NumChunks       int
 	CompressedBytes int64
@@ -87,6 +89,7 @@ func (s *Store) Datasets() []DatasetInfo {
 			Name:            ds.name,
 			Shape:           append([]int(nil), ds.shape...),
 			ChunkShape:      append([]int(nil), ds.chunk...),
+			Scalar:          ds.scalar,
 			ErrorBound:      ds.eb,
 			NumChunks:       len(ds.chunks),
 			CompressedBytes: ds.compressedBytes(),
@@ -98,17 +101,43 @@ func (s *Store) Datasets() []DatasetInfo {
 // Size returns the container's total size in bytes.
 func (s *Store) Size() int64 { return s.size }
 
-// Region is the result of a region-of-interest retrieval.
+// Region is the result of a region-of-interest retrieval, held at the
+// dataset's native scalar width (exactly one backing slice is non-nil).
 type Region struct {
-	data       []float64
+	data64     []float64
+	data32     []float32
 	lo, hi     []int
 	loaded     int64
 	guaranteed float64
 	chunks     int
 }
 
-// Data returns the region's values in row-major order over its own shape.
-func (r *Region) Data() []float64 { return r.data }
+// Scalar returns the region's element type (the dataset's).
+func (r *Region) Scalar() core.ScalarType {
+	if r.data32 != nil {
+		return core.Float32
+	}
+	return core.Float64
+}
+
+// Data returns the region's values in row-major order over its own shape,
+// as float64. Float32 regions are widened into a fresh copy (lossless);
+// use DataFloat32 for the native view.
+func (r *Region) Data() []float64 {
+	if r.data32 != nil {
+		return grid.WidenSlice(r.data32)
+	}
+	return r.data64
+}
+
+// DataFloat32 returns the region's values as float32: the native slice for
+// float32 datasets, a narrowed (precision-losing) copy for float64 ones.
+func (r *Region) DataFloat32() []float32 {
+	if r.data32 != nil {
+		return r.data32
+	}
+	return grid.NarrowSlice(r.data64)
+}
 
 // Shape returns the region's extents, hi-lo per dimension.
 func (r *Region) Shape() []int {
@@ -136,12 +165,20 @@ func (r *Region) Chunks() int { return r.chunks }
 // RetrieveRegion reconstructs the box [lo, hi) of the named dataset with a
 // guaranteed L∞ error of at most bound (0 means full fidelity). Only the
 // chunks intersecting the region are opened; each is retrieved at the
-// requested bound concurrently, reusing and refining cached decodes.
+// requested bound concurrently, reusing and refining cached decodes. The
+// region is produced at the dataset's native scalar width.
 func (s *Store) RetrieveRegion(name string, lo, hi []int, bound float64) (*Region, error) {
 	ds, ok := s.datasets[name]
 	if !ok {
 		return nil, fmt.Errorf("store: no dataset %q (have %v)", name, s.order)
 	}
+	if ds.scalar == core.Float32 {
+		return retrieveRegionAs[float32](s, ds, lo, hi, bound)
+	}
+	return retrieveRegionAs[float64](s, ds, lo, hi, bound)
+}
+
+func retrieveRegionAs[T grid.Scalar](s *Store, ds *datasetMeta, lo, hi []int, bound float64) (*Region, error) {
 	if err := validateRegion(ds.shape, lo, hi); err != nil {
 		return nil, err
 	}
@@ -153,9 +190,15 @@ func (s *Store) RetrieveRegion(name string, lo, hi []int, bound float64) (*Regio
 	}
 
 	region := &Region{
-		data: make([]float64, boxLen(lo, hi)),
-		lo:   append([]int(nil), lo...),
-		hi:   append([]int(nil), hi...),
+		lo: append([]int(nil), lo...),
+		hi: append([]int(nil), hi...),
+	}
+	data := make([]T, boxLen(lo, hi))
+	switch d := any(data).(type) {
+	case []float32:
+		region.data32 = d
+	case []float64:
+		region.data64 = d
 	}
 	shape := region.Shape()
 	chunks := ds.til.intersecting(lo, hi)
@@ -165,12 +208,12 @@ func (s *Store) RetrieveRegion(name string, lo, hi []int, bound float64) (*Regio
 	err := core.ParallelForErr(len(chunks), func(i int) error {
 		ci := chunks[i]
 		rec := &ds.chunks[ci]
-		entry := s.cache.acquire(chunkKey{dataset: name, chunk: ci},
-			int64(boxLen(rec.lo, rec.hi))*cachedBytesPerElem)
+		entry := s.cache.acquire(chunkKey{dataset: ds.name, chunk: ci},
+			int64(boxLen(rec.lo, rec.hi))*cachedBytesPerElem(ds.scalar))
 		entry.mu.Lock()
 		defer entry.mu.Unlock()
-		if err := s.ensureChunk(entry, rec, bound); err != nil {
-			return fmt.Errorf("store: dataset %q chunk %d: %w", name, ci, err)
+		if err := s.ensureChunk(entry, ds, rec, bound); err != nil {
+			return fmt.Errorf("store: dataset %q chunk %d: %w", ds.name, ci, err)
 		}
 		loaded[i] = entry.res.LoadedBytes() - entry.counted
 		entry.counted = entry.res.LoadedBytes()
@@ -185,7 +228,9 @@ func (s *Store) RetrieveRegion(name string, lo, hi []int, bound float64) (*Regio
 		for d := range chunkShape {
 			chunkShape[d] = rec.hi[d] - rec.lo[d]
 		}
-		copyRegion(region.data, shape, lo, entry.res.Data(), chunkShape, rec.lo, clo, chi)
+		// ensureChunk verified the chunk's scalar matches the dataset's, so
+		// DataOf returns the shared native slice — no copy, no conversion.
+		copyRegion(data, shape, lo, core.DataOf[T](entry.res), chunkShape, rec.lo, clo, chi)
 		return nil
 	})
 	if err != nil {
@@ -215,11 +260,17 @@ func (s *Store) RetrieveDataset(name string, bound float64) (*Region, error) {
 // retrieves at the bound; a cached result with a looser guarantee is
 // refined in place, loading only the additional bitplanes. Callers hold
 // entry.mu.
-func (s *Store) ensureChunk(entry *chunkEntry, rec *chunkRecord, bound float64) error {
+func (s *Store) ensureChunk(entry *chunkEntry, ds *datasetMeta, rec *chunkRecord, bound float64) error {
 	if entry.res == nil {
 		arch, err := core.NewArchiveReaderAt(io.NewSectionReader(s.src, rec.off, rec.size), rec.size)
 		if err != nil {
 			return err
+		}
+		// The region assembly reads the cached result through the dataset's
+		// scalar type without conversion; a chunk encoded at another width
+		// is a corrupt container, not a silently-degraded copy.
+		if arch.Scalar() != ds.scalar {
+			return fmt.Errorf("store: chunk archive is %v, dataset index says %v", arch.Scalar(), ds.scalar)
 		}
 		res, err := arch.RetrieveErrorBound(bound)
 		if err != nil {

@@ -25,7 +25,7 @@ func (c *countingReaderAt) ReadAt(p []byte, off int64) (int, error) {
 	return n, err
 }
 
-func testField(t testing.TB, shape grid.Shape) *grid.Grid {
+func testField(t testing.TB, shape grid.Shape) *grid.Grid[float64] {
 	t.Helper()
 	g, err := datagen.GenerateShape("Density", shape)
 	if err != nil {
@@ -34,7 +34,7 @@ func testField(t testing.TB, shape grid.Shape) *grid.Grid {
 	return g
 }
 
-func packOne(t testing.TB, g *grid.Grid, eb float64, chunk grid.Shape) []byte {
+func packOne(t testing.TB, g *grid.Grid[float64], eb float64, chunk grid.Shape) []byte {
 	t.Helper()
 	var buf bytes.Buffer
 	w, err := NewWriter(&buf)
@@ -375,7 +375,7 @@ func TestOpenRejectsHugeCounts(t *testing.T) {
 	buf.Write(marshalPreamble())
 	idxOff := int64(buf.Len())
 	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // dataset count u32
-	buf.Write(marshalFooter(idxOff, 4))
+	buf.Write(marshalFooter(idxOff, 4, Version))
 	if _, err := Open(bytes.NewReader(buf.Bytes()), int64(buf.Len())); err == nil {
 		t.Error("index with 2^32-1 datasets accepted")
 	}
@@ -386,7 +386,7 @@ func TestCacheEviction(t *testing.T) {
 	eb := 1e-4 * g.ValueRange()
 	blob := packOne(t, g, eb, grid.Shape{16, 16, 16}) // 8 chunks, 32 KiB decoded each
 	s := openStore(t, blob)
-	s.SetCacheBytes(2 * 16 * 16 * 16 * cachedBytesPerElem) // room for 2 decoded chunks
+	s.SetCacheBytes(2 * 16 * 16 * 16 * cachedBytesPerElem(core.Float64)) // room for 2 decoded chunks
 	full, err := s.RetrieveDataset("field", 0)
 	if err != nil {
 		t.Fatal(err)

@@ -176,7 +176,7 @@ func intersect(alo, ahi, blo, bhi []int) (lo, hi []int, ok bool) {
 // coordinate srcLo) into a destination box (dstShape at dstLo). The box
 // must lie inside both. Runs along the innermost dimension are contiguous
 // in both layouts, so they copy as slices.
-func copyRegion(dst []float64, dstShape, dstLo []int, src []float64, srcShape, srcLo []int, lo, hi []int) {
+func copyRegion[T grid.Scalar](dst []T, dstShape, dstLo []int, src []T, srcShape, srcLo []int, lo, hi []int) {
 	r := len(lo)
 	dstStr := grid.Shape(dstShape).Strides()
 	srcStr := grid.Shape(srcShape).Strides()

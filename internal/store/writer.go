@@ -52,11 +52,20 @@ func (w *Writer) write(p []byte) error {
 	return err
 }
 
-// AddGrid tiles the grid, compresses every tile as an independent IPComp
+// AddGrid is the float64 form of the generic Add function, kept as a
+// method for existing callers.
+func (w *Writer) AddGrid(name string, g *grid.Grid[float64], opt WriteOptions) error {
+	return Add(w, name, g, opt)
+}
+
+// Add tiles the grid, compresses every tile as an independent IPComp
 // archive on a worker pool, and appends the blobs to the container. The
 // compression work fans out across all cores; the writes land sequentially
-// in chunk order.
-func (w *Writer) AddGrid(name string, g *grid.Grid, opt WriteOptions) error {
+// in chunk order. The dataset's scalar type is recorded in the index, and
+// every chunk archive is encoded at that width — float32 datasets halve
+// both the staging memory and the kernel bandwidth. (Methods cannot be
+// generic in Go, hence the free function.)
+func Add[T grid.Scalar](w *Writer, name string, g *grid.Grid[T], opt WriteOptions) error {
 	if w.closed {
 		return errClosed
 	}
@@ -78,6 +87,7 @@ func (w *Writer) AddGrid(name string, g *grid.Grid, opt WriteOptions) error {
 		name:   name,
 		shape:  g.Shape().Clone(),
 		chunk:  chunk.Clone(),
+		scalar: core.ScalarOf[T](),
 		eb:     opt.ErrorBound,
 		til:    til,
 		chunks: make([]chunkRecord, til.n),
@@ -94,8 +104,8 @@ func (w *Writer) AddGrid(name string, g *grid.Grid, opt WriteOptions) error {
 		for d := range lo {
 			shape[d] = hi[d] - lo[d]
 		}
-		buf := tileScratch.Get(shape.Len())
-		defer tileScratch.Put(buf)
+		buf := getTile[T](shape.Len())
+		defer putTile(buf)
 		sub, err := grid.FromSlice(buf, shape)
 		if err != nil {
 			return err
@@ -141,12 +151,13 @@ func (w *Writer) Close() error {
 		return errClosed
 	}
 	w.closed = true
+	version := indexVersion(w.datasets)
 	indexOff := w.off
-	index := marshalIndex(w.datasets)
+	index := marshalIndex(w.datasets, version)
 	if err := w.write(index); err != nil {
 		return err
 	}
-	return w.write(marshalFooter(indexOff, int64(len(index))))
+	return w.write(marshalFooter(indexOff, int64(len(index)), version))
 }
 
 var errClosed = fmt.Errorf("store: writer already closed")

@@ -38,7 +38,7 @@ func New() *Codec { return &Codec{Kind: interp.Cubic} }
 func (c *Codec) Name() string { return "SZ3" }
 
 // Compress implements lossy.Codec.
-func (c *Codec) Compress(g *grid.Grid, eb float64) ([]byte, error) {
+func (c *Codec) Compress(g *grid.Grid[float64], eb float64) ([]byte, error) {
 	if !(eb > 0) || math.IsInf(eb, 0) {
 		return nil, fmt.Errorf("sz3: error bound must be positive and finite, got %v", eb)
 	}
@@ -100,7 +100,7 @@ func (c *Codec) Compress(g *grid.Grid, eb float64) ([]byte, error) {
 }
 
 // Decompress implements lossy.Codec.
-func (c *Codec) Decompress(blob []byte, shape grid.Shape) (*grid.Grid, error) {
+func (c *Codec) Decompress(blob []byte, shape grid.Shape) (*grid.Grid[float64], error) {
 	r := bytes.NewReader(blob)
 	rd := func(v interface{}) error { return binary.Read(r, binary.LittleEndian, v) }
 	var m uint32
@@ -163,7 +163,7 @@ func (c *Codec) Decompress(blob []byte, shape grid.Shape) (*grid.Grid, error) {
 	if err != nil {
 		return nil, err
 	}
-	g, err := grid.New(shape)
+	g, err := grid.New[float64](shape)
 	if err != nil {
 		return nil, err
 	}

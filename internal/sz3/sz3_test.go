@@ -9,8 +9,8 @@ import (
 	"repro/internal/interp"
 )
 
-func wave2D(shape grid.Shape) *grid.Grid {
-	g := grid.MustNew(shape)
+func wave2D(shape grid.Shape) *grid.Grid[float64] {
+	g := grid.MustNew[float64](shape)
 	data := g.Data()
 	strides := shape.Strides()
 	for i := range data {

@@ -142,12 +142,12 @@ func inv1D(x, tmp []float64) {
 // the grid in place. Each round transforms the current low-pass region
 // (the leading ceil(extent/2^round) samples per dimension) along every
 // dimension.
-func Transform(g *grid.Grid, levels int) {
+func Transform(g *grid.Grid[float64], levels int) {
 	apply(g, levels, fwd1D, false)
 }
 
 // Inverse undoes Transform with the same level count.
-func Inverse(g *grid.Grid, levels int) {
+func Inverse(g *grid.Grid[float64], levels int) {
 	apply(g, levels, inv1D, true)
 }
 
@@ -171,7 +171,7 @@ func MaxLevels(shape grid.Shape) int {
 	return levels
 }
 
-func apply(g *grid.Grid, levels int, f func(x, tmp []float64), inverse bool) {
+func apply(g *grid.Grid[float64], levels int, f func(x, tmp []float64), inverse bool) {
 	shape := g.Shape()
 	nd := len(shape)
 	maxExt := 0

@@ -32,7 +32,7 @@ func TestPerfectReconstructionND(t *testing.T) {
 	r := rand.New(rand.NewSource(2))
 	shapes := []grid.Shape{{64}, {33, 17}, {16, 12, 9}, {8, 9, 10, 3}}
 	for _, shape := range shapes {
-		g := grid.MustNew(shape)
+		g := grid.MustNew[float64](shape)
 		orig := make([]float64, g.Len())
 		for i := range orig {
 			orig[i] = r.NormFloat64()
@@ -53,7 +53,7 @@ func TestEnergyCompactionOnSmoothData(t *testing.T) {
 	// A smooth field must concentrate energy in the low-pass corner: the
 	// detail coefficients should be tiny relative to the signal.
 	shape := grid.Shape{64, 64}
-	g := grid.MustNew(shape)
+	g := grid.MustNew[float64](shape)
 	for i := 0; i < 64; i++ {
 		for j := 0; j < 64; j++ {
 			g.Set(math.Sin(float64(i)/10)+math.Cos(float64(j)/13), i, j)
@@ -96,7 +96,7 @@ func TestTinyInputsAreNoOps(t *testing.T) {
 	if x[0] != 3.5 {
 		t.Error("length-1 transform must be identity")
 	}
-	g := grid.MustNew(grid.Shape{1, 1})
+	g := grid.MustNew[float64](grid.Shape{1, 1})
 	g.Set(2, 0, 0)
 	Transform(g, 2)
 	Inverse(g, 2)

@@ -51,7 +51,7 @@ func (c *Codec) Name() string { return "ZFP" }
 const ampFactor = 15.0 / 4.0
 
 // Compress implements lossy.Codec.
-func (c *Codec) Compress(g *grid.Grid, eb float64) ([]byte, error) {
+func (c *Codec) Compress(g *grid.Grid[float64], eb float64) ([]byte, error) {
 	if !(eb > 0) || math.IsInf(eb, 0) {
 		return nil, fmt.Errorf("zfp: error bound must be positive and finite, got %v", eb)
 	}
@@ -146,7 +146,7 @@ const (
 )
 
 // Decompress implements lossy.Codec.
-func (c *Codec) Decompress(blob []byte, shape grid.Shape) (*grid.Grid, error) {
+func (c *Codec) Decompress(blob []byte, shape grid.Shape) (*grid.Grid[float64], error) {
 	r := bytes.NewReader(blob)
 	rd := func(v interface{}) error { return binary.Read(r, binary.LittleEndian, v) }
 	var m uint32
@@ -174,7 +174,7 @@ func (c *Codec) Decompress(blob []byte, shape grid.Shape) (*grid.Grid, error) {
 	}
 	body := bytes.NewReader(bodyBytes)
 
-	g, err := grid.New(shape)
+	g, err := grid.New[float64](shape)
 	if err != nil {
 		return nil, err
 	}
@@ -260,7 +260,7 @@ func forEachBlock(shape grid.Shape, fn func(origin []int)) {
 // gatherBlock copies a block into vals, clamping coordinates at the edges
 // (ZFP pads partial blocks by replicating the last layer, which keeps the
 // transform smooth).
-func gatherBlock(g *grid.Grid, origin []int, vals []float64) {
+func gatherBlock(g *grid.Grid[float64], origin []int, vals []float64) {
 	shape := g.Shape()
 	nd := len(shape)
 	idx := make([]int, nd)
@@ -279,7 +279,7 @@ func gatherBlock(g *grid.Grid, origin []int, vals []float64) {
 }
 
 // scatterBlock writes a block back, skipping padded cells.
-func scatterBlock(g *grid.Grid, origin []int, vals []float64) {
+func scatterBlock(g *grid.Grid[float64], origin []int, vals []float64) {
 	shape := g.Shape()
 	nd := len(shape)
 	idx := make([]int, nd)

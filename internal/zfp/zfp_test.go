@@ -109,7 +109,7 @@ func TestPartialBlocksAtEdges(t *testing.T) {
 	// Shapes not divisible by 4 exercise gather/scatter padding.
 	c := New()
 	for _, shape := range []grid.Shape{{5}, {6, 7}, {5, 6, 7}, {9, 3, 5}} {
-		g := grid.MustNew(shape)
+		g := grid.MustNew[float64](shape)
 		r := rand.New(rand.NewSource(3))
 		prev := 0.0
 		for i := range g.Data() {
@@ -137,7 +137,7 @@ func TestPartialBlocksAtEdges(t *testing.T) {
 func TestNaNBlockEscape(t *testing.T) {
 	c := New()
 	shape := grid.Shape{8, 8}
-	g := grid.MustNew(shape)
+	g := grid.MustNew[float64](shape)
 	for i := range g.Data() {
 		g.Data()[i] = float64(i)
 	}
@@ -162,7 +162,7 @@ func TestNaNBlockEscape(t *testing.T) {
 func TestZeroBlocks(t *testing.T) {
 	c := New()
 	shape := grid.Shape{16, 16}
-	g := grid.MustNew(shape) // all zeros
+	g := grid.MustNew[float64](shape) // all zeros
 	blob, err := c.Compress(g, 1e-9)
 	if err != nil {
 		t.Fatal(err)

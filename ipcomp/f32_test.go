@@ -1,0 +1,130 @@
+package ipcomp
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func f32Field(n0, n1, n2 int) []float32 {
+	out := make([]float32, n0*n1*n2)
+	for i := range out {
+		x := float64(i)
+		out[i] = float32(math.Sin(x*0.01) + 0.5*math.Cos(x*0.003))
+	}
+	return out
+}
+
+// TestPublicFloat32Archive drives the typed public surface end to end:
+// compress natively, inspect the header, retrieve progressively, refine.
+func TestPublicFloat32Archive(t *testing.T) {
+	shape := []int{24, 32, 40}
+	data := f32Field(24, 32, 40)
+	blob, err := CompressFloat32(data, shape, Options{ErrorBound: 1e-4, Relative: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch, err := Open(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arch.Scalar() != Float32 || arch.FormatVersion() != 2 {
+		t.Fatalf("scalar %v version %d", arch.Scalar(), arch.FormatVersion())
+	}
+	eb := arch.ErrorBound()
+	res, err := arch.RetrieveErrorBound(eb * 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon := res.DataFloat32()
+	worst := 0.0
+	for i := range data {
+		if d := math.Abs(float64(data[i]) - float64(recon[i])); d > worst {
+			worst = d
+		}
+	}
+	if worst > res.GuaranteedError() {
+		t.Errorf("error %g > guarantee %g", worst, res.GuaranteedError())
+	}
+	if err := res.RefineAll(); err != nil {
+		t.Fatal(err)
+	}
+	worst = 0.0
+	for i := range data {
+		if d := math.Abs(float64(data[i]) - float64(recon[i])); d > worst {
+			worst = d
+		}
+	}
+	if worst > eb {
+		t.Errorf("full-fidelity error %g > eb %g", worst, eb)
+	}
+	// The one-shot decompressors agree with the archive path.
+	d32, shp, err := DecompressFloat32(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shp) != 3 || shp[0] != 24 {
+		t.Fatalf("shape %v", shp)
+	}
+	for i := range d32 {
+		if d32[i] != recon[i] {
+			t.Fatalf("DecompressFloat32 diverges at %d", i)
+		}
+	}
+	d64, _, err := Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d64 {
+		if d64[i] != float64(recon[i]) {
+			t.Fatalf("widened Decompress diverges at %d", i)
+		}
+	}
+}
+
+// TestPublicFloat32Store exercises AddFloat32 and native region retrieval
+// through the public store API.
+func TestPublicFloat32Store(t *testing.T) {
+	shape := []int{32, 32, 32}
+	data := f32Field(32, 32, 32)
+	var buf bytes.Buffer
+	sw, err := NewStoreWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AddFloat32("field", data, shape, StoreOptions{
+		ErrorBound: 1e-4, Relative: true, ChunkShape: []int{16, 16, 16},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenStore(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds := s.Datasets(); len(ds) != 1 || ds[0].Scalar != Float32 {
+		t.Fatalf("datasets %+v", ds)
+	}
+	reg, err := s.RetrieveRegion("field", []int{4, 4, 4}, []int{20, 24, 28}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Scalar() != Float32 {
+		t.Errorf("region scalar %v", reg.Scalar())
+	}
+	recon := reg.DataFloat32()
+	idx := 0
+	for x := 4; x < 20; x++ {
+		for y := 4; y < 24; y++ {
+			for z := 4; z < 28; z++ {
+				orig := data[(x*32+y)*32+z]
+				if d := math.Abs(float64(orig) - float64(recon[idx])); d > reg.GuaranteedError() {
+					t.Fatalf("point (%d,%d,%d) off by %g > %g", x, y, z, d, reg.GuaranteedError())
+				}
+				idx++
+			}
+		}
+	}
+}

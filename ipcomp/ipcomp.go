@@ -22,6 +22,26 @@
 // Compression guarantees |x[i] - x̂[i]| <= ErrorBound for every point at
 // full fidelity; every progressive retrieval guarantees the (coarser) bound
 // it was asked for.
+//
+// # Scalar types
+//
+// Scientific datasets are overwhelmingly single-precision, and the whole
+// pipeline is generic over float32/float64 internally. The public surface
+// deliberately exposes typed pairs instead of type parameters —
+// Compress/CompressFloat32, Data/DataFloat32, Add/AddFloat32 — because an
+// archive's scalar type is a runtime property of the bytes being opened:
+// Open cannot return an Archive[T], so a generic surface would push a type
+// assertion onto every caller. CompressFloat32 produces a version-2 archive
+// that stores anchors and outliers as 4-byte floats and moves half the
+// memory bandwidth through every kernel; all bound arithmetic runs in
+// float64, so the full-fidelity error bound is honored exactly for both
+// widths, and the optimizer folds a conservative float32 rounding slack
+// (~1e-6 of the field magnitude, recorded in the v2 header) into the
+// guarantee of any truncated plan, so reported bounds stay hard at every
+// granularity. Choose float32 bounds above the type's ~1e-7 relative
+// representational precision — tighter ones escape point by point through
+// the lossless outlier path. Float64 archives remain version 1,
+// byte-identical with earlier releases.
 package ipcomp
 
 import (
@@ -63,6 +83,16 @@ const (
 	PaperBound = core.PaperBound
 )
 
+// ScalarType identifies an archive's element type.
+type ScalarType = core.ScalarType
+
+const (
+	// Float64 archives use the version-1 format.
+	Float64 = core.Float64
+	// Float32 archives use the version-2 format with 4-byte anchors.
+	Float32 = core.Float32
+)
+
 // Options configures Compress.
 type Options struct {
 	// ErrorBound is the absolute point-wise error bound (required, > 0).
@@ -79,8 +109,20 @@ type Options struct {
 }
 
 // Compress encodes a row-major float64 array of the given shape into an
-// IPComp archive.
+// IPComp archive (format version 1).
 func Compress(data []float64, shape []int, opt Options) ([]byte, error) {
+	return compressAs(data, shape, opt)
+}
+
+// CompressFloat32 encodes a row-major float32 array of the given shape into
+// an IPComp archive (format version 2) — natively, with no widening copy:
+// the compressor's work arrays and kernels run at 4 bytes per element. The
+// error bound (absolute or relative) is honored exactly, like Compress.
+func CompressFloat32(data []float32, shape []int, opt Options) ([]byte, error) {
+	return compressAs(data, shape, opt)
+}
+
+func compressAs[T grid.Scalar](data []T, shape []int, opt Options) ([]byte, error) {
 	g, err := grid.FromSlice(data, grid.Shape(shape))
 	if err != nil {
 		return nil, err
@@ -100,13 +142,38 @@ func Compress(data []float64, shape []int, opt Options) ([]byte, error) {
 	})
 }
 
-// Decompress fully reconstructs an archive, returning the data and shape.
+// Decompress fully reconstructs an archive, returning the data and shape
+// as float64. Float32 archives are widened losslessly; use
+// DecompressFloat32 for a native single-precision view.
 func Decompress(blob []byte) ([]float64, []int, error) {
-	g, err := core.Decompress(blob)
+	res, shape, err := decompressResult(blob)
 	if err != nil {
 		return nil, nil, err
 	}
-	return g.Data(), g.Shape(), nil
+	return res.Data(), shape, nil
+}
+
+// DecompressFloat32 fully reconstructs an archive as float32. For float32
+// archives this is the native reconstruction; float64 archives are
+// narrowed, losing precision beyond ~7 significant digits.
+func DecompressFloat32(blob []byte) ([]float32, []int, error) {
+	res, shape, err := decompressResult(blob)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.DataFloat32(), shape, nil
+}
+
+func decompressResult(blob []byte) (*core.Result, []int, error) {
+	a, err := core.NewArchive(blob)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := a.RetrieveAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, a.Shape(), nil
 }
 
 // Archive provides progressive access to a compressed dataset.
@@ -142,6 +209,13 @@ func (ar *Archive) NumElements() int { return grid.Shape(ar.a.Shape()).Len() }
 
 // ErrorBound returns the compression-time absolute error bound.
 func (ar *Archive) ErrorBound() float64 { return ar.a.ErrorBound() }
+
+// Scalar returns the archive's element type.
+func (ar *Archive) Scalar() ScalarType { return ar.a.Scalar() }
+
+// FormatVersion returns the archive format version: 1 for float64
+// archives, 2 for float32.
+func (ar *Archive) FormatVersion() int { return ar.a.FormatVersion() }
 
 // CompressedSize returns the total archive size in bytes.
 func (ar *Archive) CompressedSize() int64 { return ar.a.TotalSize() }
@@ -184,9 +258,19 @@ type Result struct {
 	r *core.Result
 }
 
-// Data returns the reconstructed values (shared slice: refinement mutates
-// it in place).
+// Scalar returns the reconstruction's element type (the archive's).
+func (res *Result) Scalar() ScalarType { return res.r.Scalar() }
+
+// Data returns the reconstructed values as float64. For float64 archives
+// this is the shared backing slice (refinement mutates it in place); for
+// float32 archives it is a widened lossless copy that does not observe
+// later refinement — use DataFloat32 for the shared native view.
 func (res *Result) Data() []float64 { return res.r.Data() }
+
+// DataFloat32 returns the reconstructed values as float32. For float32
+// archives this is the shared backing slice (refinement mutates it in
+// place); for float64 archives it is a narrowed, precision-losing copy.
+func (res *Result) DataFloat32() []float32 { return res.r.DataFloat32() }
 
 // LoadedBytes reports the archive bytes read so far, header included.
 func (res *Result) LoadedBytes() int64 { return res.r.LoadedBytes() }

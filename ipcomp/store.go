@@ -57,6 +57,18 @@ func NewStoreWriter(w io.Writer) (*StoreWriter, error) {
 // Add compresses a row-major float64 dataset into the container under the
 // given name.
 func (sw *StoreWriter) Add(name string, data []float64, shape []int, opt StoreOptions) error {
+	return addAs(sw, name, data, shape, opt)
+}
+
+// AddFloat32 compresses a row-major float32 dataset into the container
+// natively: tiles stage and compress at 4 bytes per element, and the
+// dataset's scalar type is recorded in the container index so retrievals
+// come back as float32.
+func (sw *StoreWriter) AddFloat32(name string, data []float32, shape []int, opt StoreOptions) error {
+	return addAs(sw, name, data, shape, opt)
+}
+
+func addAs[T grid.Scalar](sw *StoreWriter, name string, data []T, shape []int, opt StoreOptions) error {
 	g, err := grid.FromSlice(data, grid.Shape(shape))
 	if err != nil {
 		return err
@@ -69,7 +81,7 @@ func (sw *StoreWriter) Add(name string, data []float64, shape []int, opt StoreOp
 		}
 		eb *= r
 	}
-	return sw.w.AddGrid(name, g, store.WriteOptions{
+	return store.Add(sw.w, name, g, store.WriteOptions{
 		ErrorBound:           eb,
 		Interpolation:        opt.Interpolation.kind(),
 		ChunkShape:           grid.Shape(opt.ChunkShape),
@@ -89,8 +101,16 @@ type Region struct {
 	r *store.Region
 }
 
-// Data returns the region's values in row-major order over Shape().
+// Scalar returns the region's element type (the dataset's).
+func (r *Region) Scalar() ScalarType { return r.r.Scalar() }
+
+// Data returns the region's values in row-major order over Shape(), as
+// float64; float32 regions are widened losslessly into a fresh copy.
 func (r *Region) Data() []float64 { return r.r.Data() }
+
+// DataFloat32 returns the region's values as float32: the native slice for
+// float32 datasets, a narrowed (precision-losing) copy for float64 ones.
+func (r *Region) DataFloat32() []float32 { return r.r.DataFloat32() }
 
 // Shape returns the region's extents.
 func (r *Region) Shape() []int { return r.r.Shape() }
