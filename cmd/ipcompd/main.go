@@ -1,0 +1,96 @@
+// Command ipcompd serves IPComp containers over HTTP: dataset listing,
+// metadata, and progressive region-of-interest retrieval with incremental
+// refinement (see docs/PROTOCOL.md).
+//
+// Usage:
+//
+//	ipcompd [-listen :8080] [-cache-mb 256] container.ipcs [more.ipcs ...]
+//
+// Every dataset of every container is served under its own name; names
+// must be unique across the given containers. A quick session:
+//
+//	ipcomp store pack -out c.ipcs -eb 1e-6 -rel density=density.f64:64x96x96
+//	ipcompd -listen :8080 c.ipcs &
+//	curl 'localhost:8080/v1/datasets'
+//	curl 'localhost:8080/v1/datasets/density/region?lo=0,0,0&hi=32,32,32&bound=1e-3' -o roi.f64
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "address to serve HTTP on")
+	cacheMB := flag.Int64("cache-mb", 256, "decoded-tile cache budget per container, in MiB (0 disables)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ipcompd [-listen :8080] [-cache-mb 256] container.ipcs [more.ipcs ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*listen, *cacheMB, flag.Args()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(listen string, cacheMB int64, paths []string) error {
+	srv := server.New()
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		st, err := f.Stat()
+		if err != nil {
+			return err
+		}
+		s, err := store.Open(f, st.Size())
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		s.SetCacheBytes(cacheMB << 20)
+		if err := srv.AddStore(s); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		for _, ds := range s.Datasets() {
+			log.Printf("serving %s: shape %v %s eb %g (%d chunks, %d compressed bytes) from %s",
+				ds.Name, ds.Shape, ds.Scalar, ds.ErrorBound, ds.NumChunks, ds.CompressedBytes, path)
+		}
+	}
+
+	hs := &http.Server{
+		Addr:              listen,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("ipcompd listening on %s", listen)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		log.Printf("%v: shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return hs.Shutdown(ctx)
+	}
+}

@@ -1,15 +1,3 @@
-// Package bitplane implements the bitplane decomposition at the heart of
-// IPComp's progressive coder (paper §4.3–4.4). A slice of 32-digit
-// negabinary integers is transposed into 32 bit vectors ("planes"): plane p
-// holds bit p of every integer. Planes are stored most-significant first so
-// that loading a prefix of planes yields a uniformly truncated (lower
-// precision) version of every value.
-//
-// The package also implements the paper's predictive bitplane coding
-// (§4.4.1): each bit is XOR-ed with the XOR of its two more-significant
-// neighbours in the same integer. The prediction is causal with respect to
-// plane loading order (MSB first), so a partially loaded archive can always
-// undo it.
 package bitplane
 
 import (

@@ -1,0 +1,20 @@
+// Package bitplane implements the bitplane decomposition at the heart of
+// IPComp's progressive coder (paper §4.3–4.4). A slice of 32-digit
+// negabinary integers is transposed into 32 bit vectors ("planes"): plane p
+// holds bit p of every integer, with element i at bit (7 - i mod 8) of
+// byte i/8. Planes are stored most-significant first so that loading a
+// prefix of planes yields a uniformly truncated (lower precision) version
+// of every value — which is also why a plane prefix is all a network
+// server needs to ship for any requested fidelity.
+//
+// The package also implements the paper's predictive bitplane coding
+// (§4.4.1): each bit is XOR-ed with the XOR of its two more-significant
+// neighbours in the same integer. The prediction is causal with respect to
+// plane loading order (MSB first), so a partially loaded archive can always
+// undo it.
+//
+// Split/Merge run on a word-level 8×32 bit-matrix transpose; the *Into
+// variants write into pooled backings (allocation-free hot path) and the
+// *Range variants shard by element or byte range for the parallel
+// kernels in internal/core.
+package bitplane

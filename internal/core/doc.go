@@ -1,0 +1,39 @@
+// Package core implements the IPComp compressor itself: the archive
+// format, the progressive encoder built on the interpolation predictor
+// (internal/interp), negabinary bitplane coding (internal/nb,
+// internal/bitplane), and the DP-based optimized data loader (paper §5).
+// docs/FORMAT.md specifies the archive bytes exhaustively; the sketch:
+//
+//	header (always loaded)
+//	  magic, version, interpolation kind, scalar type (v2), shape,
+//	  error bound, max |value| (v2)
+//	  L (levels), Lp (progressive levels)
+//	  anchor values (raw at the native scalar width, lossless)
+//	  per level: element count, outlier table, used-plane count,
+//	             per-plane compressed block sizes, maxDrop truncation table
+//	blocks (loaded on demand)
+//	  level L..1 (coarse first), bitplane MSB..LSB within a level
+//
+// The maxDrop table records, for every level l and every possible number of
+// dropped low bitplanes d, the exact maximum quantization-index error
+// max_i |k_i - negabinaryTruncate(k_i, d)| observed in that level. This is
+// the ‖δy_l‖∞ of the paper's Theorem 1 (in units of the quantization step),
+// and it is what makes the optimizer's error predictions tight.
+//
+// The package's surfaces, by consumer:
+//
+//   - Compress / NewArchive / NewArchiveReaderAt / NewArchiveFrom and the
+//     Retrieve*/Refine* families are the compression and progressive
+//     retrieval engine behind the public ipcomp package. Results refine
+//     in place: tightening a bound loads only additional plane blocks.
+//   - Plan, PlanErrorBoundMode, PlanBitrateMode expose the loading
+//     optimizer; PlanSpans/HeaderSize (spans.go) turn a plan diff into
+//     the archive byte ranges it needs, which is what lets a server ship
+//     progressive refinements without decoding anything.
+//   - ParallelFor / ParallelForErr and the SlicePool scratch machinery
+//     are the worker-pool substrate shared with internal/store.
+//
+// Everything here is deterministic: the same input bytes and the same
+// plan produce bit-identical output regardless of GOMAXPROCS, pinned by
+// SHA-256 golden tests.
+package core

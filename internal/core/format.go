@@ -1,25 +1,3 @@
-// Package core implements the IPComp compressor itself: the archive format,
-// the progressive encoder built on the interpolation predictor
-// (internal/interp), negabinary bitplane coding (internal/nb,
-// internal/bitplane), and the DP-based optimized data loader (paper §5).
-//
-// Archive layout:
-//
-//	header (always loaded)
-//	  magic, version, interpolation kind, scalar type (v2), shape,
-//	  error bound, max |value| (v2)
-//	  L (levels), Lp (progressive levels)
-//	  anchor values (raw at the native scalar width, lossless)
-//	  per level: element count, outlier table, used-plane count,
-//	             per-plane compressed block sizes, maxDrop truncation table
-//	blocks (loaded on demand)
-//	  level L..1 (coarse first), bitplane MSB..LSB within a level
-//
-// The maxDrop table records, for every level l and every possible number of
-// dropped low bitplanes d, the exact maximum quantization-index error
-// max_i |k_i - negabinaryTruncate(k_i, d)| observed in that level. This is
-// the ‖δy_l‖∞ of the paper's Theorem 1 (in units of the quantization step),
-// and it is what makes the optimizer's error predictions tight.
 package core
 
 import (

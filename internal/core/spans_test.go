@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/grid"
+)
+
+// TestPlanSpans pins the span arithmetic the wire protocol rests on: the
+// byte ranges of a plan diff must account for exactly the bytes the plan
+// accounting (PlanBytes) attributes to it, arrive ordered and coalesced,
+// and stay inside the archive.
+func TestPlanSpans(t *testing.T) {
+	g, err := datagen.GenerateShape("Density", grid.Shape{48, 48, 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb := 1e-6 * g.ValueRange()
+	blob, err := Compress(g, Options{ErrorBound: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewArchive(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := a.PlanErrorBoundMode(1024 * eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := a.PlanErrorBoundMode(4 * eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	checkSpans := func(name string, spans []Span) {
+		t.Helper()
+		pos := a.HeaderSize()
+		for _, s := range spans {
+			if s.Len <= 0 {
+				t.Fatalf("%s: empty span %+v", name, s)
+			}
+			if s.Off < pos {
+				t.Fatalf("%s: span %+v out of order or overlapping (pos %d)", name, s, pos)
+			}
+			if s.Off == pos && pos > a.HeaderSize() {
+				t.Fatalf("%s: adjacent spans not coalesced at %d", name, s.Off)
+			}
+			pos = s.Off + s.Len
+		}
+		if pos > a.TotalSize() {
+			t.Fatalf("%s: spans extend to %d, archive is %d bytes", name, pos, a.TotalSize())
+		}
+	}
+
+	// Fresh spans for a plan + the header must cover exactly PlanBytes.
+	for _, tc := range []struct {
+		name string
+		plan Plan
+	}{{"loose", loose}, {"tight", tight}} {
+		spans := a.PlanSpans(Plan{}, tc.plan)
+		checkSpans(tc.name, spans)
+		if got, want := a.HeaderSize()+SpanBytes(spans), a.PlanBytes(tc.plan); got != want {
+			t.Errorf("%s: header+spans = %d bytes, PlanBytes says %d", tc.name, got, want)
+		}
+	}
+
+	// A refinement diff costs exactly the byte difference of the plans.
+	delta := a.PlanSpans(loose, tight)
+	checkSpans("delta", delta)
+	if got, want := SpanBytes(delta), a.PlanBytes(tight)-a.PlanBytes(loose); got != want {
+		t.Errorf("delta spans = %d bytes, plan difference is %d", got, want)
+	}
+	if SpanBytes(delta) <= 0 {
+		t.Fatal("tightening the bound selected no additional bytes")
+	}
+
+	// Refining to a plan already held is a no-op.
+	if spans := a.PlanSpans(tight, tight); len(spans) != 0 {
+		t.Errorf("self-refinement produced spans %+v", spans)
+	}
+	if spans := a.PlanSpans(tight, loose); len(spans) != 0 {
+		t.Errorf("loosening produced spans %+v", spans)
+	}
+}

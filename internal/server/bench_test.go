@@ -1,0 +1,112 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/grid"
+	"repro/internal/store"
+)
+
+// BenchmarkServerRegion measures the region endpoint through the full
+// HTTP stack on a 64³ container (32³ tiles):
+//
+//	cold       raw retrieval with an empty tile cache — decode-dominated
+//	warm       raw retrieval of cached tiles — copy/stream-dominated
+//	concurrent warm raw retrievals from GOMAXPROCS parallel clients
+//	planes     the progressive wire format — no decoding server-side
+func BenchmarkServerRegion(b *testing.B) {
+	g, err := datagen.GenerateShape("Density", grid.Shape{64, 64, 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eb := 1e-6 * g.ValueRange()
+	var buf bytes.Buffer
+	w, err := store.NewWriter(&buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.AddGrid("density", g, store.WriteOptions{ErrorBound: eb, ChunkShape: grid.Shape{32, 32, 32}}); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	st, err := store.Open(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := New()
+	if err := srv.AddStore(st); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	bound := strconv.FormatFloat(64*eb, 'g', -1, 64)
+	regionURL := ts.URL + "/v1/datasets/density/region?lo=8,8,8&hi=56,56,56&bound=" + bound
+	get := func(c *http.Client, url string) error {
+		resp, err := c.Get(url)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != 200 {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st.SetCacheBytes(0) // drop every cached tile
+			st.SetCacheBytes(store.DefaultCacheBytes)
+			if err := get(http.DefaultClient, regionURL); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	warm := func(b *testing.B) {
+		st.SetCacheBytes(0)
+		st.SetCacheBytes(store.DefaultCacheBytes)
+		if err := get(http.DefaultClient, regionURL); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+	}
+	b.Run("warm", func(b *testing.B) {
+		warm(b)
+		for i := 0; i < b.N; i++ {
+			if err := get(http.DefaultClient, regionURL); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("concurrent", func(b *testing.B) {
+		warm(b)
+		b.RunParallel(func(pb *testing.PB) {
+			c := &http.Client{}
+			for pb.Next() {
+				if err := get(c, regionURL); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	b.Run("planes", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := get(http.DefaultClient, regionURL+"&format=planes"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

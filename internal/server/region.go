@@ -1,0 +1,243 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// handleRegion serves GET /v1/datasets/{name}/region — the progressive
+// retrieval endpoint. Two response formats share one query surface:
+//
+//   - format=raw (default): the reconstructed values as raw little-endian
+//     floats, friendly to curl and non-Go clients. The server decodes the
+//     region (through the shared tile cache) at the requested bound.
+//   - format=planes: the progressive wire protocol. The server ships the
+//     compressed bitplane ranges the client is missing — with refine=
+//     <token>, only the delta beyond what the token certifies — and never
+//     decodes anything.
+func (srv *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	ds, ok := srv.datasets[name]
+	if !ok {
+		srv.errNotFound(w, name)
+		return
+	}
+	q := r.URL.Query()
+	rank := len(ds.info.Shape)
+	lo, err := parseCoords(q.Get("lo"), rank)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "lo: "+err.Error())
+		return
+	}
+	hi, err := parseCoords(q.Get("hi"), rank)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "hi: "+err.Error())
+		return
+	}
+	for d := 0; d < rank; d++ {
+		if lo[d] < 0 || hi[d] > ds.info.Shape[d] || lo[d] >= hi[d] {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("region [%v, %v) outside dataset shape %v", lo, hi, ds.info.Shape))
+			return
+		}
+	}
+	bound := 0.0
+	if s := q.Get("bound"); s != "" {
+		bound, err = strconv.ParseFloat(s, 64)
+		if err != nil || bound < 0 || math.IsNaN(bound) || math.IsInf(bound, 0) {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bound must be a non-negative float, got %q", s))
+			return
+		}
+	}
+	switch q.Get("format") {
+	case "", "raw":
+		if q.Get("refine") != "" {
+			writeError(w, http.StatusBadRequest, "refine requires format=planes (raw responses carry full values)")
+			return
+		}
+		srv.serveRaw(w, ds, lo, hi, bound, q.Get("dtype"))
+	case "planes":
+		srv.servePlanes(w, ds, name, lo, hi, bound, q.Get("refine"))
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("format must be raw or planes, got %q", q.Get("format")))
+	}
+}
+
+// boundStatus maps retrieval/planning errors onto HTTP statuses.
+func boundStatus(err error) (int, string) {
+	if errors.Is(err, core.ErrBoundTooTight) {
+		return http.StatusBadRequest, "bound is tighter than the dataset's compression error bound"
+	}
+	return http.StatusInternalServerError, err.Error()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// serveRaw decodes the region server-side and streams raw values.
+func (srv *Server) serveRaw(w http.ResponseWriter, ds *dataset, lo, hi []int, bound float64, dtype string) {
+	scalar, forced, err := parseScalar(dtype)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	reg, err := ds.s.RetrieveRegion(ds.info.Name, lo, hi, bound)
+	if err != nil {
+		status, msg := boundStatus(err)
+		writeError(w, status, msg)
+		return
+	}
+	if !forced {
+		scalar = reg.Scalar()
+	}
+	shape := reg.Shape()
+	n := 1
+	for _, e := range shape {
+		n *= e
+	}
+	dims := make([]string, len(shape))
+	for i, e := range shape {
+		dims[i] = strconv.Itoa(e)
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("Content-Length", strconv.FormatInt(int64(n*scalar.Bytes()), 10))
+	h.Set("X-Ipcomp-Shape", strings.Join(dims, "x"))
+	h.Set("X-Ipcomp-Scalar", scalar.String())
+	h.Set("X-Ipcomp-Guaranteed-Error", formatFloat(reg.GuaranteedError()))
+	h.Set("X-Ipcomp-Loaded-Bytes", strconv.FormatInt(reg.LoadedBytes(), 10))
+	h.Set("X-Ipcomp-Chunks", strconv.Itoa(reg.Chunks()))
+	if scalar == core.Float32 {
+		writeRaw(w, reg.DataFloat32(), 4, func(b []byte, v float32) {
+			binary.LittleEndian.PutUint32(b, math.Float32bits(v))
+		})
+	} else {
+		writeRaw(w, reg.Data(), 8, func(b []byte, v float64) {
+			binary.LittleEndian.PutUint64(b, math.Float64bits(v))
+		})
+	}
+}
+
+// writeRaw streams values as little-endian in fixed-size batches.
+func writeRaw[T any](w http.ResponseWriter, vals []T, width int, put func([]byte, T)) {
+	const batch = 16384
+	buf := make([]byte, batch*width)
+	for len(vals) > 0 {
+		n := len(vals)
+		if n > batch {
+			n = batch
+		}
+		for i := 0; i < n; i++ {
+			put(buf[i*width:], vals[i])
+		}
+		if _, err := w.Write(buf[:n*width]); err != nil {
+			return // client went away mid-stream
+		}
+		vals = vals[n:]
+	}
+}
+
+// servePlanes ships the compressed plane ranges of the region plan,
+// coarse level first, framed per docs/PROTOCOL.md.
+func (srv *Server) servePlanes(w http.ResponseWriter, ds *dataset, name string, lo, hi []int, bound float64, refine string) {
+	haveBound := 0.0
+	if refine != "" {
+		tok, err := decodeToken(refine)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if !tok.matches(name, lo, hi) {
+			writeError(w, http.StatusConflict,
+				"refine token was issued for a different dataset or region; request the region fresh")
+			return
+		}
+		haveBound = tok.bound
+	}
+	rp, err := ds.s.PlanRegion(name, lo, hi, bound, haveBound)
+	if err != nil {
+		if errors.Is(err, store.ErrBadRefineBase) {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		status, msg := boundStatus(err)
+		writeError(w, status, msg)
+		return
+	}
+	// The new token certifies the tightest fidelity the client holds: a
+	// refinement to a looser bound than the token must not loosen it.
+	newBound := rp.Bound
+	if haveBound > 0 && haveBound < newBound {
+		newBound = haveBound
+	}
+	tok := (&token{dataset: name, lo: lo, hi: hi, bound: newBound}).encode()
+
+	rank := len(lo)
+	total := wire.RegionHeaderSize(rank)
+	for i := range rp.Chunks {
+		cp := &rp.Chunks[i]
+		for _, sp := range cp.Spans {
+			// Validate before any header is written: a range beyond the
+			// u32 framing field must fail the request, not truncate.
+			if sp.Len > wire.MaxSpanLen {
+				writeError(w, http.StatusInternalServerError,
+					fmt.Sprintf("tile %d needs a %d-byte range, beyond the framing limit", cp.Index, sp.Len))
+				return
+			}
+		}
+		total += wire.ChunkHeaderSize(rank, len(cp.Keep))
+		total += int64(len(cp.Spans))*wire.SpanHeaderSize + cp.Bytes()
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/x-ipcomp-frames")
+	h.Set("Content-Length", strconv.FormatInt(total, 10))
+	h.Set("X-Ipcomp-Token", tok)
+	h.Set("X-Ipcomp-Bound", formatFloat(rp.Bound))
+	h.Set("X-Ipcomp-Guaranteed-Error", formatFloat(rp.Guaranteed))
+	h.Set("X-Ipcomp-Chunks", strconv.Itoa(len(rp.Chunks)))
+
+	if err := wire.WriteRegionHeader(w, &wire.RegionHeader{
+		Scalar:     rp.Scalar,
+		Rank:       rank,
+		Lo:         rp.Lo,
+		Hi:         rp.Hi,
+		Bound:      rp.Bound,
+		Guaranteed: rp.Guaranteed,
+		NumChunks:  len(rp.Chunks),
+	}); err != nil {
+		return
+	}
+	for i := range rp.Chunks {
+		cp := &rp.Chunks[i]
+		if err := wire.WriteChunkHeader(w, &wire.ChunkHeader{
+			Index:    cp.Index,
+			Lo:       cp.Lo,
+			Hi:       cp.Hi,
+			BlobSize: cp.BlobSize,
+			Keep:     cp.Keep,
+			NumSpans: len(cp.Spans),
+		}); err != nil {
+			return
+		}
+		for _, sp := range cp.Spans {
+			if err := wire.WriteSpanHeader(w, wire.SpanHeader{Off: sp.Off, Len: sp.Len}); err != nil {
+				return
+			}
+			payload, err := ds.s.ReadRange(cp.BlobOff+sp.Off, sp.Len)
+			if err != nil {
+				return // headers are gone; aborting the body is all we can do
+			}
+			if _, err := w.Write(payload); err != nil {
+				return
+			}
+		}
+	}
+}

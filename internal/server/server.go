@@ -1,0 +1,192 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// Server serves one or more IPComp containers over HTTP. Every dataset of
+// every added container appears under its own name; names must be unique
+// across containers (pick distinct dataset names at pack time). The
+// underlying stores are safe for concurrent use, so one Server handles any
+// number of in-flight requests; hot tiles are decoded once and streamed to
+// every requester from the shared tile cache.
+type Server struct {
+	datasets map[string]*dataset
+	order    []string
+	stores   []*store.Store
+}
+
+// dataset routes one dataset name to its backing store.
+type dataset struct {
+	s    *store.Store
+	info store.DatasetInfo
+}
+
+// New creates an empty Server; add containers with AddStore.
+func New() *Server {
+	return &Server{datasets: make(map[string]*dataset)}
+}
+
+// AddStore registers every dataset of an open container. It fails if a
+// dataset name is already served (containers cannot shadow each other);
+// on failure nothing is registered, so a caller that continues past the
+// error serves exactly what it served before.
+func (srv *Server) AddStore(s *store.Store) error {
+	infos := s.Datasets()
+	batch := make(map[string]bool, len(infos))
+	for _, info := range infos {
+		if _, ok := srv.datasets[info.Name]; ok {
+			return fmt.Errorf("server: dataset %q already served by an earlier container", info.Name)
+		}
+		if batch[info.Name] {
+			return fmt.Errorf("server: container names dataset %q twice", info.Name)
+		}
+		batch[info.Name] = true
+	}
+	for _, info := range infos {
+		srv.datasets[info.Name] = &dataset{s: s, info: info}
+		srv.order = append(srv.order, info.Name)
+	}
+	srv.stores = append(srv.stores, s)
+	return nil
+}
+
+// Handler returns the HTTP API (see docs/PROTOCOL.md):
+//
+//	GET /healthz                     liveness
+//	GET /v1/stats                    tile cache counters
+//	GET /v1/datasets                 list datasets
+//	GET /v1/datasets/{name}          one dataset's metadata
+//	GET /v1/datasets/{name}/region   progressive region retrieval
+func (srv *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/stats", srv.handleStats)
+	mux.HandleFunc("GET /v1/datasets", srv.handleList)
+	mux.HandleFunc("GET /v1/datasets/{name}", srv.handleDataset)
+	mux.HandleFunc("GET /v1/datasets/{name}/region", srv.handleRegion)
+	return mux
+}
+
+// DatasetDoc is the JSON document describing one dataset.
+type DatasetDoc struct {
+	Name            string  `json:"name"`
+	Shape           []int   `json:"shape"`
+	ChunkShape      []int   `json:"chunk_shape"`
+	Scalar          string  `json:"scalar"`
+	ErrorBound      float64 `json:"error_bound"`
+	NumChunks       int     `json:"num_chunks"`
+	CompressedBytes int64   `json:"compressed_bytes"`
+}
+
+func docOf(info store.DatasetInfo) DatasetDoc {
+	return DatasetDoc{
+		Name:            info.Name,
+		Shape:           info.Shape,
+		ChunkShape:      info.ChunkShape,
+		Scalar:          info.Scalar.String(),
+		ErrorBound:      info.ErrorBound,
+		NumChunks:       info.NumChunks,
+		CompressedBytes: info.CompressedBytes,
+	}
+}
+
+// StatsDoc is the JSON document of /v1/stats.
+type StatsDoc struct {
+	Datasets    int   `json:"datasets"`
+	TileDecodes int64 `json:"tile_decodes"`
+	TileRefines int64 `json:"tile_refines"`
+	TileHits    int64 `json:"tile_hits"`
+}
+
+func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	doc := StatsDoc{Datasets: len(srv.order)}
+	for _, s := range srv.stores {
+		st := s.Stats()
+		doc.TileDecodes += st.TileDecodes
+		doc.TileRefines += st.TileRefines
+		doc.TileHits += st.TileHits
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (srv *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	docs := make([]DatasetDoc, 0, len(srv.order))
+	for _, name := range srv.order {
+		docs = append(docs, docOf(srv.datasets[name].info))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": docs})
+}
+
+func (srv *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
+	ds, ok := srv.datasets[r.PathValue("name")]
+	if !ok {
+		srv.errNotFound(w, r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, docOf(ds.info))
+}
+
+func (srv *Server) errNotFound(w http.ResponseWriter, name string) {
+	have := append([]string(nil), srv.order...)
+	sort.Strings(have)
+	writeError(w, http.StatusNotFound, fmt.Sprintf("no dataset %q (have %s)", name, strings.Join(have, ", ")))
+}
+
+// errorDoc is the JSON shape of every non-2xx response.
+type errorDoc struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorDoc{Error: msg, Status: status})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// parseCoords parses a comma-separated coordinate list of the given rank.
+func parseCoords(s string, rank int) ([]int, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != rank {
+		return nil, fmt.Errorf("want %d comma-separated coordinates, got %q", rank, s)
+	}
+	out := make([]int, rank)
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("coordinate %q is not an integer", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// parseScalar maps the dtype query parameter; empty means native.
+func parseScalar(s string) (core.ScalarType, bool, error) {
+	switch s {
+	case "":
+		return 0, false, nil
+	case "f32", "float32":
+		return core.Float32, true, nil
+	case "f64", "float64":
+		return core.Float64, true, nil
+	}
+	return 0, false, fmt.Errorf("dtype must be f32 or f64, got %q", s)
+}

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// A retrieval token is the receipt a region response hands the client: an
+// opaque, URL-safe encoding of (dataset, region, absolute bound) naming
+// the fidelity the client now holds. Refinement requests echo it back and
+// the server re-derives the client's loading plans from it — per-tile
+// plans are a deterministic function of (archive, bound) — so refinement
+// is fully stateless: no session table, any replica serving the same
+// container can honor any token. Tokens are not authentication and carry
+// nothing secret; a forged bound merely changes which bytes the client is
+// sent.
+type token struct {
+	dataset string
+	lo, hi  []int
+	bound   float64
+}
+
+const tokenVersion = 1
+
+var tokenEncoding = base64.RawURLEncoding
+
+func (t *token) encode() string {
+	var buf bytes.Buffer
+	w := func(v any) { binary.Write(&buf, binary.LittleEndian, v) }
+	w(uint8(tokenVersion))
+	w(uint8(len(t.lo)))
+	w(uint16(len(t.dataset)))
+	buf.WriteString(t.dataset)
+	for _, v := range t.lo {
+		w(uint32(v))
+	}
+	for _, v := range t.hi {
+		w(uint32(v))
+	}
+	w(math.Float64bits(t.bound))
+	return tokenEncoding.EncodeToString(buf.Bytes())
+}
+
+func decodeToken(s string) (*token, error) {
+	raw, err := tokenEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("refine token is not base64url: %w", err)
+	}
+	r := bytes.NewReader(raw)
+	var ver, rank uint8
+	var nameLen uint16
+	if err := binary.Read(r, binary.LittleEndian, &ver); err != nil || ver != tokenVersion {
+		return nil, fmt.Errorf("unsupported refine token version")
+	}
+	if err := binary.Read(r, binary.LittleEndian, &rank); err != nil || rank == 0 || rank > 16 {
+		return nil, fmt.Errorf("malformed refine token")
+	}
+	if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+		return nil, fmt.Errorf("malformed refine token")
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return nil, fmt.Errorf("malformed refine token")
+	}
+	t := &token{dataset: string(name), lo: make([]int, rank), hi: make([]int, rank)}
+	coords := make([]uint32, 2*int(rank))
+	if err := binary.Read(r, binary.LittleEndian, coords); err != nil {
+		return nil, fmt.Errorf("malformed refine token")
+	}
+	for i := 0; i < int(rank); i++ {
+		t.lo[i] = int(coords[i])
+		t.hi[i] = int(coords[int(rank)+i])
+	}
+	var bits uint64
+	if err := binary.Read(r, binary.LittleEndian, &bits); err != nil || r.Len() != 0 {
+		return nil, fmt.Errorf("malformed refine token")
+	}
+	t.bound = math.Float64frombits(bits)
+	if t.bound <= 0 || math.IsNaN(t.bound) || math.IsInf(t.bound, 0) {
+		return nil, fmt.Errorf("refine token carries invalid bound %g", t.bound)
+	}
+	return t, nil
+}
+
+// matches reports whether the token certifies fidelity for exactly this
+// request's dataset and region.
+func (t *token) matches(dataset string, lo, hi []int) bool {
+	if t.dataset != dataset || len(t.lo) != len(lo) {
+		return false
+	}
+	for i := range lo {
+		if t.lo[i] != lo[i] || t.hi[i] != hi[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -3,6 +3,7 @@ package store
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
@@ -11,6 +12,15 @@ import (
 // overlapping region queries reuse (and progressively refine) decoded
 // tiles instead of re-reading and re-decoding them.
 const DefaultCacheBytes = 256 << 20
+
+// cacheShards is the lock-shard count of the chunk cache. Admission and
+// eviction touch only the shard a key hashes to, so concurrent requests —
+// the HTTP server runs one goroutine per request, each fanning out across
+// its region's tiles — contend on a shard lock for nanoseconds instead of
+// serializing on one cache-wide mutex. 16 shards keeps per-shard LRU
+// behavior close to global LRU while making the lock invisible in
+// profiles.
+const cacheShards = 16
 
 // cachedBytesPerElem is what one cached element is charged against the
 // budget. A cached core.Result holds the decoded values (8 or 4 B/elem by
@@ -31,28 +41,107 @@ type chunkKey struct {
 	chunk   int
 }
 
-// chunkEntry holds one decoded tile. res starts nil and is populated under
-// mu by the first retrieval; later queries at tighter bounds refine it in
-// place (loading only additional bitplanes), so the cache monotonically
-// gains fidelity per tile. counted tracks how many of res's loaded bytes
-// have already been attributed to some query's I/O accounting.
+// hash is FNV-1a over the key, used to pick a cache shard.
+func (k chunkKey) hash() uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(k.dataset); i++ {
+		h = (h ^ uint32(k.dataset[i])) * prime32
+	}
+	v := uint64(k.chunk)
+	for i := 0; i < 8; i++ {
+		h = (h ^ uint32(v&0xff)) * prime32
+		v >>= 8
+	}
+	return h
+}
+
+// chunkEntry holds one tile's parsed archive and decoded result.
+//
+// Lifecycle under entry.mu (an RWMutex):
+//   - res starts nil and is populated under the write lock by the first
+//     retrieval; concurrent requests for the same tile block on the lock
+//     and find the decode already done — N requests, one decode.
+//   - Later queries at tighter bounds refine res in place (loading only
+//     additional bitplanes) under the write lock, so the cache
+//     monotonically gains fidelity per tile.
+//   - Warm queries copy their overlap out under the read lock, so any
+//     number of requests stream the same hot tile concurrently.
+//
+// arch caches the parsed archive header (tiny: it is read to plan wire
+// responses even when nothing is decoded). It is an atomic pointer, set
+// once, so the wire-planning path can read it without touching mu at all
+// — a planes request must never queue behind a concurrent raw request's
+// multi-millisecond decode. counted tracks how many of res's loaded
+// bytes have already been attributed to some query's I/O accounting; it
+// is atomic so read-locked fast paths can claim deltas without upgrading
+// the lock.
 type chunkEntry struct {
 	key     chunkKey
 	charged int64 // bytes charged against the cache budget
 
-	mu      sync.Mutex
+	arch atomic.Pointer[core.Archive]
+
+	mu      sync.RWMutex
 	res     *core.Result
-	counted int64
+	counted atomic.Int64
 }
 
-// chunkCache is a byte-budgeted LRU over decoded tiles. Entries are
-// charged their decoded size (elements × 8) up front, at admission:
-// the decoded size is known exactly from the tiling before any work
-// happens, and charging early keeps concurrent fills from overshooting
-// the budget. Evicted entries vanish from the map only — goroutines
-// holding a pointer finish their copy-out safely, and the memory is
-// reclaimed when they drop it.
+// claimLoaded returns the result bytes not yet attributed to any query
+// and marks them attributed. Callers hold entry.mu in either mode (res's
+// LoadedBytes cannot advance while any lock is held; the atomic swap
+// arbitrates between concurrent read-locked claimants).
+func (e *chunkEntry) claimLoaded() int64 {
+	n := e.res.LoadedBytes()
+	return n - e.counted.Swap(n)
+}
+
+// Stats counts tile-level cache events since the store was opened, for
+// serving metrics and for tests asserting single-decode behavior.
+type Stats struct {
+	// TileDecodes is the number of cold fills: tile archives decoded from
+	// container bytes because no cached result existed.
+	TileDecodes int64
+	// TileRefines is the number of cached tiles raised to a tighter bound
+	// in place (loading only their missing bitplanes).
+	TileRefines int64
+	// TileHits is the number of per-tile queries served entirely from the
+	// cache, with no container I/O.
+	TileHits int64
+}
+
+// cacheStats is the atomic backing of Stats.
+type cacheStats struct {
+	decodes atomic.Int64
+	refines atomic.Int64
+	hits    atomic.Int64
+}
+
+func (c *cacheStats) snapshot() Stats {
+	return Stats{
+		TileDecodes: c.decodes.Load(),
+		TileRefines: c.refines.Load(),
+		TileHits:    c.hits.Load(),
+	}
+}
+
+// chunkCache is a byte-budgeted LRU over decoded tiles, sharded by key
+// hash. Entries are charged their decoded size up front, at admission: the
+// decoded size is known exactly from the tiling before any work happens,
+// and charging early keeps concurrent fills from overshooting the budget.
+// Evicted entries vanish from the map only — goroutines holding a pointer
+// finish their copy-out safely, and the memory is reclaimed when they
+// drop it.
 type chunkCache struct {
+	shards [cacheShards]cacheShard
+}
+
+// cacheShard is one independently locked slice of the cache, with 1/16 of
+// the byte budget.
+type cacheShard struct {
 	mu      sync.Mutex
 	cap     int64
 	used    int64
@@ -61,56 +150,84 @@ type chunkCache struct {
 }
 
 func newChunkCache(capBytes int64) *chunkCache {
-	return &chunkCache{
-		cap:     capBytes,
-		ll:      list.New(),
-		entries: make(map[chunkKey]*list.Element),
+	c := &chunkCache{}
+	for i := range c.shards {
+		c.shards[i].ll = list.New()
+		c.shards[i].entries = make(map[chunkKey]*list.Element)
 	}
+	c.resize(capBytes)
+	return c
 }
 
 // acquire returns the entry for key, creating (and admitting) it if
 // needed. With a non-positive capacity, caching is disabled and every call
 // returns a fresh uncached entry.
 func (c *chunkCache) acquire(key chunkKey, decodedBytes int64) *chunkEntry {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.cap <= 0 {
+	sh := &c.shards[key.hash()%cacheShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.cap <= 0 {
 		return &chunkEntry{key: key, charged: decodedBytes}
 	}
-	if el, ok := c.entries[key]; ok {
-		c.ll.MoveToFront(el)
+	if el, ok := sh.entries[key]; ok {
+		sh.ll.MoveToFront(el)
 		return el.Value.(*chunkEntry)
 	}
 	e := &chunkEntry{key: key, charged: decodedBytes}
-	c.entries[key] = c.ll.PushFront(e)
-	c.used += e.charged
-	for c.used > c.cap && c.ll.Len() > 1 {
-		el := c.ll.Back()
+	sh.entries[key] = sh.ll.PushFront(e)
+	sh.used += e.charged
+	// Evict from the LRU end, but never the entry just admitted: a tile
+	// bigger than the shard's slice of the budget must still be cached,
+	// or concurrent requests for it would each decode their own copy and
+	// the single-decode guarantee would silently vanish for large tiles.
+	// The budget is therefore soft by at most one resident tile per shard.
+	for sh.used > sh.cap && sh.ll.Len() > 1 {
+		el := sh.ll.Back()
 		victim := el.Value.(*chunkEntry)
-		c.ll.Remove(el)
-		delete(c.entries, victim.key)
-		c.used -= victim.charged
+		sh.ll.Remove(el)
+		delete(sh.entries, victim.key)
+		sh.used -= victim.charged
 	}
 	return e
 }
 
-// resize updates the capacity, evicting down to the new budget. A
-// non-positive capacity clears the cache and disables it.
-func (c *chunkCache) resize(capBytes int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.cap = capBytes
-	if c.cap <= 0 {
-		c.ll.Init()
-		c.entries = make(map[chunkKey]*list.Element)
-		c.used = 0
-		return
+// peek returns the cached entry for key, or nil without admitting one.
+// Header-only consumers (wire planning) use it so the budget is never
+// charged a full decoded-tile size for an entry that holds no decode.
+func (c *chunkCache) peek(key chunkKey) *chunkEntry {
+	sh := &c.shards[key.hash()%cacheShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.entries[key]; ok {
+		sh.ll.MoveToFront(el)
+		return el.Value.(*chunkEntry)
 	}
-	for c.used > c.cap && c.ll.Len() > 0 {
-		el := c.ll.Back()
-		victim := el.Value.(*chunkEntry)
-		c.ll.Remove(el)
-		delete(c.entries, victim.key)
-		c.used -= victim.charged
+	return nil
+}
+
+// resize updates the capacity (split evenly across shards), evicting down
+// to the new budget. A non-positive capacity clears the cache and disables
+// it.
+func (c *chunkCache) resize(capBytes int64) {
+	per := capBytes / cacheShards
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.cap = per
+		if sh.cap <= 0 {
+			sh.ll.Init()
+			sh.entries = make(map[chunkKey]*list.Element)
+			sh.used = 0
+			sh.mu.Unlock()
+			continue
+		}
+		for sh.used > sh.cap && sh.ll.Len() > 0 {
+			el := sh.ll.Back()
+			victim := el.Value.(*chunkEntry)
+			sh.ll.Remove(el)
+			delete(sh.entries, victim.key)
+			sh.used -= victim.charged
+		}
+		sh.mu.Unlock()
 	}
 }

@@ -1,25 +1,3 @@
-// Package store implements IPComp's chunked multi-dataset archive
-// container. A container holds any number of named N-d float64 datasets,
-// each split into fixed-size tiles (default 64³, edge tiles clipped) that
-// are compressed as independent IPComp archives. Because every tile is an
-// independently addressable blob behind io.ReaderAt — the venti/fossil
-// block-store shape — compression parallelizes across cores, and a
-// region-of-interest query reads only the bytes of the tiles it overlaps,
-// each at whatever progressive fidelity the caller asked for.
-//
-// Container layout:
-//
-//	preamble (8 bytes)   magic "IPCS", version, reserved
-//	chunk blobs          each an independent IPComp archive (core format)
-//	index                named-dataset table + per-chunk records
-//	footer (24 bytes)    index offset, index size, magic, version
-//
-// The index lives at the tail so a Writer can stream chunk blobs to any
-// io.Writer without seeking; readers locate it through the fixed-size
-// footer. Per dataset the index records the shape, the nominal chunk
-// shape, and the compression error bound; per chunk it records the byte
-// extent [off, off+size), the region [lo, hi) the chunk covers in dataset
-// coordinates, and the chunk's guaranteed maximum absolute error.
 package store
 
 import (

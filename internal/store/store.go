@@ -13,12 +13,20 @@ import (
 // the preamble, footer, and index; chunk bytes are read lazily, and a
 // region query reads only the byte ranges that the loading plans of its
 // intersecting chunks select — true partial I/O end to end.
+//
+// A Store is safe for concurrent use by any number of goroutines provided
+// the underlying reader's ReadAt is (os.File and bytes.Reader are): the
+// dataset index is immutable after Open, the tile cache is lock-sharded,
+// and per-tile state is guarded by a read-write mutex, so concurrent
+// requests for the same tile decode it exactly once while warm requests
+// stream it concurrently.
 type Store struct {
 	src      io.ReaderAt
 	size     int64
 	datasets map[string]*datasetMeta
 	order    []string
 	cache    *chunkCache
+	stats    cacheStats
 }
 
 // Open parses a container's index from an io.ReaderAt of the given size.
@@ -67,7 +75,14 @@ func Open(r io.ReaderAt, size int64) (*Store, error) {
 }
 
 // SetCacheBytes resizes the decoded-chunk LRU cache; 0 disables caching.
+// The budget is split evenly across the cache's lock shards; each shard
+// always retains its most recent tile even when that tile alone exceeds
+// the shard's slice (so the budget is soft by at most one tile per
+// shard, and oversized tiles still deduplicate concurrent decodes).
 func (s *Store) SetCacheBytes(n int64) { s.cache.resize(n) }
+
+// Stats returns a snapshot of the store's tile-level cache counters.
+func (s *Store) Stats() Stats { return s.stats.snapshot() }
 
 // DatasetInfo summarizes one dataset of a container.
 type DatasetInfo struct {
@@ -210,17 +225,7 @@ func retrieveRegionAs[T grid.Scalar](s *Store, ds *datasetMeta, lo, hi []int, bo
 		rec := &ds.chunks[ci]
 		entry := s.cache.acquire(chunkKey{dataset: ds.name, chunk: ci},
 			int64(boxLen(rec.lo, rec.hi))*cachedBytesPerElem(ds.scalar))
-		entry.mu.Lock()
-		defer entry.mu.Unlock()
-		if err := s.ensureChunk(entry, ds, rec, bound); err != nil {
-			return fmt.Errorf("store: dataset %q chunk %d: %w", ds.name, ci, err)
-		}
-		loaded[i] = entry.res.LoadedBytes() - entry.counted
-		entry.counted = entry.res.LoadedBytes()
-		guaranteed[i] = entry.res.GuaranteedError()
-		// Copy the overlap out while the entry is locked: a concurrent
-		// tighter query could otherwise refine the shared slice mid-copy.
-		clo, chi, ok := intersect(rec.lo, rec.hi, lo, hi)
+		clo, chi, ok := Intersect(rec.lo, rec.hi, lo, hi)
 		if !ok {
 			return fmt.Errorf("store: chunk %d does not intersect region", ci)
 		}
@@ -228,9 +233,35 @@ func retrieveRegionAs[T grid.Scalar](s *Store, ds *datasetMeta, lo, hi []int, bo
 		for d := range chunkShape {
 			chunkShape[d] = rec.hi[d] - rec.lo[d]
 		}
-		// ensureChunk verified the chunk's scalar matches the dataset's, so
-		// DataOf returns the shared native slice — no copy, no conversion.
-		copyRegion(data, shape, lo, core.DataOf[T](entry.res), chunkShape, rec.lo, clo, chi)
+		// Copy-outs happen while the entry is locked (in either mode): a
+		// concurrent tighter query could otherwise refine the shared slice
+		// mid-copy. ensureChunk verified the chunk's scalar matches the
+		// dataset's, so DataOf returns the shared native slice — no copy,
+		// no conversion.
+		copyOut := func() {
+			loaded[i] = entry.claimLoaded()
+			guaranteed[i] = entry.res.GuaranteedError()
+			CopyRegion(data, shape, lo, core.DataOf[T](entry.res), chunkShape, rec.lo, clo, chi)
+		}
+		// Fast path: the tile is already decoded at sufficient fidelity.
+		// Under the read lock any number of requests stream it at once.
+		entry.mu.RLock()
+		if entry.res != nil && entry.res.GuaranteedError() <= bound {
+			s.stats.hits.Add(1)
+			copyOut()
+			entry.mu.RUnlock()
+			return nil
+		}
+		entry.mu.RUnlock()
+		// Slow path: take the write lock to decode or refine. Concurrent
+		// requests for the same cold tile queue here and find the work
+		// already done — one decode, N consumers.
+		entry.mu.Lock()
+		defer entry.mu.Unlock()
+		if err := s.ensureChunk(entry, ds, rec, bound); err != nil {
+			return fmt.Errorf("store: dataset %q chunk %d: %w", ds.name, ci, err)
+		}
+		copyOut()
 		return nil
 	})
 	if err != nil {
@@ -255,27 +286,47 @@ func (s *Store) RetrieveDataset(name string, bound float64) (*Region, error) {
 	return s.RetrieveRegion(name, make([]int, len(ds.shape)), hi, bound)
 }
 
+// openChunkArchive parses (or returns the cached parse of) a tile's
+// archive header. It needs no lock: the cached pointer is set once via
+// CAS (racing parses produce equivalent archives and the loser's is
+// dropped), so wire planning can call it while a decode holds entry.mu.
+// Only the header is read — planning never decodes the tile.
+func (s *Store) openChunkArchive(entry *chunkEntry, ds *datasetMeta, rec *chunkRecord) (*core.Archive, error) {
+	if a := entry.arch.Load(); a != nil {
+		return a, nil
+	}
+	arch, err := core.NewArchiveReaderAt(io.NewSectionReader(s.src, rec.off, rec.size), rec.size)
+	if err != nil {
+		return nil, err
+	}
+	// Retrievals read the cached result through the dataset's scalar type
+	// without conversion; a chunk encoded at another width is a corrupt
+	// container, not a silently-degraded copy.
+	if arch.Scalar() != ds.scalar {
+		return nil, fmt.Errorf("store: chunk archive is %v, dataset index says %v", arch.Scalar(), ds.scalar)
+	}
+	if !entry.arch.CompareAndSwap(nil, arch) {
+		return entry.arch.Load(), nil
+	}
+	return arch, nil
+}
+
 // ensureChunk makes entry.res valid at fidelity `bound` or better: first
 // touch opens the chunk's archive through a section of the container and
 // retrieves at the bound; a cached result with a looser guarantee is
 // refined in place, loading only the additional bitplanes. Callers hold
-// entry.mu.
+// entry.mu for writing.
 func (s *Store) ensureChunk(entry *chunkEntry, ds *datasetMeta, rec *chunkRecord, bound float64) error {
 	if entry.res == nil {
-		arch, err := core.NewArchiveReaderAt(io.NewSectionReader(s.src, rec.off, rec.size), rec.size)
+		arch, err := s.openChunkArchive(entry, ds, rec)
 		if err != nil {
 			return err
-		}
-		// The region assembly reads the cached result through the dataset's
-		// scalar type without conversion; a chunk encoded at another width
-		// is a corrupt container, not a silently-degraded copy.
-		if arch.Scalar() != ds.scalar {
-			return fmt.Errorf("store: chunk archive is %v, dataset index says %v", arch.Scalar(), ds.scalar)
 		}
 		res, err := arch.RetrieveErrorBound(bound)
 		if err != nil {
 			return err
 		}
+		s.stats.decodes.Add(1)
 		entry.res = res
 		return nil
 	}
@@ -286,10 +337,15 @@ func (s *Store) ensureChunk(entry *chunkEntry, ds *datasetMeta, rec *chunkRecord
 			// Drop the entry so the next query re-decodes instead of
 			// trusting a guarantee the data no longer meets.
 			entry.res = nil
-			entry.counted = 0
+			entry.counted.Store(0)
 			return err
 		}
+		s.stats.refines.Add(1)
+		return nil
 	}
+	// Another request decoded or refined the tile while we waited for the
+	// write lock.
+	s.stats.hits.Add(1)
 	return nil
 }
 

@@ -149,9 +149,11 @@ func boxLen(lo, hi []int) int {
 	return n
 }
 
-// intersect clips [alo, ahi) to [blo, bhi); ok is false when they are
-// disjoint.
-func intersect(alo, ahi, blo, bhi []int) (lo, hi []int, ok bool) {
+// Intersect clips [alo, ahi) to [blo, bhi); ok is false when they are
+// disjoint. Exported alongside CopyRegion for ipcomp/client, which clips
+// remotely fetched tiles against its region the same way the store clips
+// cached ones.
+func Intersect(alo, ahi, blo, bhi []int) (lo, hi []int, ok bool) {
 	r := len(alo)
 	lo = make([]int, r)
 	hi = make([]int, r)
@@ -171,12 +173,14 @@ func intersect(alo, ahi, blo, bhi []int) (lo, hi []int, ok bool) {
 	return lo, hi, true
 }
 
-// copyRegion copies the dataset-coordinate box [lo, hi) from a source box
+// CopyRegion copies the dataset-coordinate box [lo, hi) from a source box
 // (row-major data of shape srcShape whose element [0,0,..] sits at dataset
 // coordinate srcLo) into a destination box (dstShape at dstLo). The box
 // must lie inside both. Runs along the innermost dimension are contiguous
-// in both layouts, so they copy as slices.
-func copyRegion[T grid.Scalar](dst []T, dstShape, dstLo []int, src []T, srcShape, srcLo []int, lo, hi []int) {
+// in both layouts, so they copy as slices. Exported for ipcomp/client,
+// which assembles regions from remotely fetched tiles the same way the
+// store assembles them from cached ones.
+func CopyRegion[T grid.Scalar](dst []T, dstShape, dstLo []int, src []T, srcShape, srcLo []int, lo, hi []int) {
 	r := len(lo)
 	dstStr := grid.Shape(dstShape).Strides()
 	srcStr := grid.Shape(srcShape).Strides()

@@ -95,7 +95,7 @@ func Add[T grid.Scalar](w *Writer, name string, g *grid.Grid[T], opt WriteOption
 
 	// Fan the tiles out across the worker pool; any chunk error aborts the
 	// whole dataset. Tile staging buffers come from a pool shared across
-	// workers and datasets: copyRegion overwrites the full box and Compress
+	// workers and datasets: CopyRegion overwrites the full box and Compress
 	// copies it into its own scratch, so reuse is safe.
 	blobs := make([][]byte, til.n)
 	err = core.ParallelForErr(til.n, func(i int) error {
@@ -110,7 +110,7 @@ func Add[T grid.Scalar](w *Writer, name string, g *grid.Grid[T], opt WriteOption
 		if err != nil {
 			return err
 		}
-		copyRegion(sub.Data(), shape, lo, g.Data(), g.Shape(), make([]int, len(lo)), lo, hi)
+		CopyRegion(sub.Data(), shape, lo, g.Data(), g.Shape(), make([]int, len(lo)), lo, hi)
 		blob, err := core.Compress(sub, core.Options{
 			ErrorBound:           opt.ErrorBound,
 			Interpolation:        opt.Interpolation,

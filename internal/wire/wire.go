@@ -1,0 +1,246 @@
+// Package wire defines the binary framing of ipcompd's progressive region
+// responses (format=planes). A response carries, per intersecting tile,
+// the tile's loading plan and the raw archive byte ranges the client is
+// missing — compressed bitplane blocks exactly as they sit in the
+// container, never re-encoded. The same framing serves fresh retrievals
+// (ranges start with the tile's archive header) and refinements (ranges
+// cover only the newly selected planes), which is what makes a refinement
+// response a strict delta. docs/PROTOCOL.md is the authoritative spec;
+// this package is its implementation, shared by internal/server (writer)
+// and ipcomp/client (reader).
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Magic opens every planes response ("IPRF" little-endian).
+const Magic = 0x46525049
+
+// Version is the framing version.
+const Version = 1
+
+// MaxRank bounds the rank field when decoding untrusted frames.
+const MaxRank = 16
+
+// RegionHeader is the fixed preamble of a planes response.
+type RegionHeader struct {
+	Scalar core.ScalarType
+	Rank   int
+	// Lo, Hi is the region in dataset coordinates.
+	Lo, Hi []int
+	// Bound is the normalized absolute error bound this response raises
+	// the client to; it is also what the refinement token certifies.
+	Bound float64
+	// Guaranteed is the worst guaranteed L∞ error across the region once
+	// the response is applied (tiles the response omits included).
+	Guaranteed float64
+	// NumChunks is the number of chunk frames that follow.
+	NumChunks int
+}
+
+// ChunkHeader precedes one tile's spans.
+type ChunkHeader struct {
+	// Index is the tile's linear index in the dataset's chunk grid.
+	Index int
+	// Lo, Hi is the tile's box in dataset coordinates.
+	Lo, Hi []int
+	// BlobSize is the total size of the tile's archive, which a client
+	// needs to construct its block source.
+	BlobSize int64
+	// Keep is the tile's loading plan after this frame is applied.
+	Keep []int
+	// NumSpans is the number of (offset, length, payload) ranges following.
+	NumSpans int
+}
+
+// SpanHeader precedes one raw byte range; Len payload bytes follow it.
+type SpanHeader struct {
+	Off int64
+	Len int64
+}
+
+type leWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (w *leWriter) write(v any) {
+	if w.err == nil {
+		w.err = binary.Write(w.w, binary.LittleEndian, v)
+	}
+}
+
+// WriteRegionHeader emits the response preamble.
+func WriteRegionHeader(w io.Writer, h *RegionHeader) error {
+	lw := &leWriter{w: w}
+	lw.write(uint32(Magic))
+	lw.write(uint8(Version))
+	lw.write(uint8(h.Scalar))
+	lw.write(uint8(h.Rank))
+	lw.write(uint8(0)) // reserved
+	for _, v := range h.Lo {
+		lw.write(uint32(v))
+	}
+	for i, v := range h.Hi {
+		lw.write(uint32(v - h.Lo[i]))
+	}
+	lw.write(h.Bound)
+	lw.write(h.Guaranteed)
+	lw.write(uint32(h.NumChunks))
+	return lw.err
+}
+
+// WriteChunkHeader emits one tile's frame header.
+func WriteChunkHeader(w io.Writer, h *ChunkHeader) error {
+	lw := &leWriter{w: w}
+	lw.write(uint32(h.Index))
+	for _, v := range h.Lo {
+		lw.write(uint32(v))
+	}
+	for i, v := range h.Hi {
+		lw.write(uint32(v - h.Lo[i]))
+	}
+	lw.write(uint64(h.BlobSize))
+	lw.write(uint8(len(h.Keep)))
+	for _, k := range h.Keep {
+		lw.write(uint8(k))
+	}
+	lw.write(uint16(h.NumSpans))
+	return lw.err
+}
+
+// MaxSpanLen is the largest payload one span header can frame (its
+// length field is u32). Larger ranges must be split by the sender.
+const MaxSpanLen = math.MaxUint32
+
+// WriteSpanHeader emits one range header; the caller streams the payload.
+func WriteSpanHeader(w io.Writer, s SpanHeader) error {
+	if s.Len < 0 || s.Len > MaxSpanLen {
+		return fmt.Errorf("wire: span length %d outside the u32 framing field", s.Len)
+	}
+	lw := &leWriter{w: w}
+	lw.write(uint64(s.Off))
+	lw.write(uint32(s.Len))
+	return lw.err
+}
+
+// RegionHeaderSize returns the encoded preamble size for a rank.
+func RegionHeaderSize(rank int) int64 { return 4 + 4 + int64(rank)*8 + 8 + 8 + 4 }
+
+// ChunkHeaderSize returns the encoded chunk frame header size.
+func ChunkHeaderSize(rank, levels int) int64 { return 4 + int64(rank)*8 + 8 + 1 + int64(levels) + 2 }
+
+// SpanHeaderSize is the encoded span header size.
+const SpanHeaderSize = 12
+
+type leReader struct {
+	r   io.Reader
+	b   [8]byte
+	err error
+}
+
+func (r *leReader) read(n int) []byte {
+	if r.err != nil {
+		return r.b[:n]
+	}
+	_, r.err = io.ReadFull(r.r, r.b[:n])
+	return r.b[:n]
+}
+
+func (r *leReader) u8() uint8   { return r.read(1)[0] }
+func (r *leReader) u16() uint16 { return binary.LittleEndian.Uint16(r.read(2)) }
+func (r *leReader) u32() uint32 { return binary.LittleEndian.Uint32(r.read(4)) }
+func (r *leReader) u64() uint64 { return binary.LittleEndian.Uint64(r.read(8)) }
+func (r *leReader) f64() float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(r.read(8)))
+}
+
+// ReadRegionHeader parses the response preamble.
+func ReadRegionHeader(r io.Reader) (*RegionHeader, error) {
+	lr := &leReader{r: r}
+	if m := lr.u32(); lr.err == nil && m != Magic {
+		return nil, fmt.Errorf("wire: bad response magic %#x", m)
+	}
+	if v := lr.u8(); lr.err == nil && v != Version {
+		return nil, fmt.Errorf("wire: unsupported frame version %d", v)
+	}
+	h := &RegionHeader{}
+	h.Scalar = core.ScalarType(lr.u8())
+	h.Rank = int(lr.u8())
+	lr.u8() // reserved
+	if lr.err == nil && (h.Rank == 0 || h.Rank > MaxRank) {
+		return nil, fmt.Errorf("wire: invalid rank %d", h.Rank)
+	}
+	if lr.err == nil && h.Scalar != core.Float64 && h.Scalar != core.Float32 {
+		return nil, fmt.Errorf("wire: unknown scalar type %d", h.Scalar)
+	}
+	h.Lo = make([]int, h.Rank)
+	h.Hi = make([]int, h.Rank)
+	for i := range h.Lo {
+		h.Lo[i] = int(lr.u32())
+	}
+	for i := range h.Hi {
+		h.Hi[i] = h.Lo[i] + int(lr.u32())
+	}
+	h.Bound = lr.f64()
+	h.Guaranteed = lr.f64()
+	h.NumChunks = int(lr.u32())
+	if lr.err != nil {
+		return nil, fmt.Errorf("wire: truncated region header: %w", lr.err)
+	}
+	return h, nil
+}
+
+// ReadChunkHeader parses one tile frame header.
+func ReadChunkHeader(r io.Reader, rank int) (*ChunkHeader, error) {
+	lr := &leReader{r: r}
+	h := &ChunkHeader{}
+	h.Index = int(lr.u32())
+	h.Lo = make([]int, rank)
+	h.Hi = make([]int, rank)
+	for i := range h.Lo {
+		h.Lo[i] = int(lr.u32())
+	}
+	for i := range h.Hi {
+		h.Hi[i] = h.Lo[i] + int(lr.u32())
+	}
+	h.BlobSize = int64(lr.u64())
+	nlev := int(lr.u8())
+	if lr.err == nil && nlev > 64 {
+		return nil, fmt.Errorf("wire: implausible level count %d", nlev)
+	}
+	h.Keep = make([]int, nlev)
+	for i := range h.Keep {
+		h.Keep[i] = int(lr.u8())
+	}
+	h.NumSpans = int(lr.u16())
+	if lr.err != nil {
+		return nil, fmt.Errorf("wire: truncated chunk header: %w", lr.err)
+	}
+	if h.BlobSize <= 0 {
+		return nil, fmt.Errorf("wire: chunk %d declares blob size %d", h.Index, h.BlobSize)
+	}
+	return h, nil
+}
+
+// ReadSpanHeader parses one range header; the caller must then consume
+// exactly Len payload bytes.
+func ReadSpanHeader(r io.Reader) (SpanHeader, error) {
+	lr := &leReader{r: r}
+	s := SpanHeader{}
+	s.Off = int64(lr.u64())
+	s.Len = int64(lr.u32())
+	if lr.err != nil {
+		return s, fmt.Errorf("wire: truncated span header: %w", lr.err)
+	}
+	if s.Off < 0 {
+		return s, fmt.Errorf("wire: negative span offset %d", s.Off)
+	}
+	return s, nil
+}

@@ -1,0 +1,307 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/url"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// Region is a remotely retrieved region-of-interest reconstruction. It
+// holds, per tile, the archive ranges fetched so far and the decoded
+// result, so Refine can apply delta planes in place. Like ipcomp.Result,
+// a Region is not safe for concurrent use.
+type Region struct {
+	c       *Client
+	dataset string
+	lo, hi  []int
+	shape   []int
+	scalar  core.ScalarType
+	bound   float64 // tightest bound certified by the token
+	token   string
+	fetched int64
+	data64  []float64
+	data32  []float32
+	chunks  map[int]*remoteChunk
+}
+
+// remoteChunk is one tile's client-side state.
+type remoteChunk struct {
+	lo, hi []int
+	src    *sparseSource
+	arch   *core.Archive
+	res    *core.Result
+}
+
+// Region fetches the box [lo, hi) of the named dataset at the given
+// absolute error bound (0 means full fidelity) using the progressive
+// planes protocol: the response carries compressed bitplane ranges, which
+// are decoded locally.
+func (c *Client) Region(ctx context.Context, dataset string, lo, hi []int, bound float64) (*Region, error) {
+	if len(lo) != len(hi) || len(lo) == 0 {
+		return nil, fmt.Errorf("client: malformed region [%v, %v)", lo, hi)
+	}
+	reg := &Region{
+		c:       c,
+		dataset: dataset,
+		lo:      append([]int(nil), lo...),
+		hi:      append([]int(nil), hi...),
+		chunks:  make(map[int]*remoteChunk),
+	}
+	reg.shape = make([]int, len(lo))
+	for d := range lo {
+		reg.shape[d] = hi[d] - lo[d]
+	}
+	if err := reg.fetch(ctx, bound, ""); err != nil {
+		return nil, err
+	}
+	return reg, nil
+}
+
+// Refine raises the region to a tighter absolute bound by fetching only
+// the delta planes beyond the retrieval token of the previous response
+// and applying them in place. Refining to a bound the region already
+// satisfies is a cheap no-op round trip.
+func (reg *Region) Refine(ctx context.Context, bound float64) error {
+	return reg.fetch(ctx, bound, reg.token)
+}
+
+func (reg *Region) fetch(ctx context.Context, bound float64, refine string) error {
+	// 0 means full fidelity; anything else must be a positive finite
+	// bound. Dropping a NaN/negative silently would turn a caller's
+	// arithmetic bug into an expensive full-fidelity download.
+	if bound < 0 || math.IsNaN(bound) || math.IsInf(bound, 0) {
+		return fmt.Errorf("client: invalid error bound %g", bound)
+	}
+	q := url.Values{
+		"lo":     {coords(reg.lo)},
+		"hi":     {coords(reg.hi)},
+		"format": {"planes"},
+	}
+	if bound > 0 {
+		q.Set("bound", strconv.FormatFloat(bound, 'g', -1, 64))
+	}
+	if refine != "" {
+		q.Set("refine", refine)
+	}
+	resp, err := reg.c.get(ctx, "/v1/datasets/"+url.PathEscape(reg.dataset)+"/region", q)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	token := resp.Header.Get("X-Ipcomp-Token")
+	br := bufio.NewReaderSize(&countingReader{r: resp.Body, n: &reg.fetched}, 1<<16)
+
+	h, err := wire.ReadRegionHeader(br)
+	if err != nil {
+		return err
+	}
+	if h.Rank != len(reg.lo) {
+		return fmt.Errorf("client: response is rank %d, request was rank %d", h.Rank, len(reg.lo))
+	}
+	for d := range reg.lo {
+		if h.Lo[d] != reg.lo[d] || h.Hi[d] != reg.hi[d] {
+			return fmt.Errorf("client: response covers [%v, %v), request was [%v, %v)", h.Lo, h.Hi, reg.lo, reg.hi)
+		}
+	}
+	if reg.data64 == nil && reg.data32 == nil {
+		n := 1
+		for _, e := range reg.shape {
+			n *= e
+		}
+		reg.scalar = h.Scalar
+		if h.Scalar == core.Float32 {
+			reg.data32 = make([]float32, n)
+		} else {
+			reg.data64 = make([]float64, n)
+		}
+	} else if h.Scalar != reg.scalar {
+		return fmt.Errorf("client: response scalar %v does not match region's %v", h.Scalar, reg.scalar)
+	}
+
+	for i := 0; i < h.NumChunks; i++ {
+		if err := reg.readChunk(br, h.Rank); err != nil {
+			return err
+		}
+	}
+	reg.token = token
+	if reg.bound == 0 || h.Bound < reg.bound {
+		reg.bound = h.Bound
+	}
+	return nil
+}
+
+// readChunk consumes one tile frame: its spans land in the tile's sparse
+// source, the decoder raises the tile to the frame's plan, and the
+// overlap is copied into the region.
+func (reg *Region) readChunk(br *bufio.Reader, rank int) error {
+	ch, err := wire.ReadChunkHeader(br, rank)
+	if err != nil {
+		return err
+	}
+	rc := reg.chunks[ch.Index]
+	if rc == nil {
+		for d := range ch.Lo {
+			if ch.Hi[d] <= ch.Lo[d] {
+				return fmt.Errorf("client: chunk %d declares empty box [%v, %v)", ch.Index, ch.Lo, ch.Hi)
+			}
+		}
+		rc = &remoteChunk{
+			lo:  ch.Lo,
+			hi:  ch.Hi,
+			src: &sparseSource{size: ch.BlobSize},
+		}
+		reg.chunks[ch.Index] = rc
+	} else {
+		// Refinement frames must describe the same tile they did on the
+		// first fetch; a drifting box would mis-place the copy-out.
+		for d := range ch.Lo {
+			if ch.Lo[d] != rc.lo[d] || ch.Hi[d] != rc.hi[d] {
+				return fmt.Errorf("client: chunk %d moved from [%v, %v) to [%v, %v) between responses",
+					ch.Index, rc.lo, rc.hi, ch.Lo, ch.Hi)
+			}
+		}
+	}
+	for s := 0; s < ch.NumSpans; s++ {
+		sp, err := wire.ReadSpanHeader(br)
+		if err != nil {
+			return err
+		}
+		if sp.Len > rc.src.Size() {
+			return fmt.Errorf("client: chunk %d span of %d bytes exceeds its archive size %d", ch.Index, sp.Len, rc.src.Size())
+		}
+		payload := make([]byte, sp.Len)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return fmt.Errorf("client: truncated span payload: %w", err)
+		}
+		if err := rc.src.insert(sp.Off, payload); err != nil {
+			return err
+		}
+	}
+	plan := core.Plan{Keep: ch.Keep}
+	if rc.arch == nil {
+		if rc.arch, err = core.NewArchiveFrom(rc.src); err != nil {
+			return fmt.Errorf("client: chunk %d: %w", ch.Index, err)
+		}
+		if rc.arch.Scalar() != reg.scalar {
+			return fmt.Errorf("client: chunk %d is %v, response header says %v", ch.Index, rc.arch.Scalar(), reg.scalar)
+		}
+		// The frame's box sizes the copy-out of the decoded tile; it must
+		// agree with the shape the tile's own archive declares, or
+		// CopyRegion would stride (or overrun) the decoded slice wrongly.
+		shape := rc.arch.Shape()
+		if len(shape) != len(rc.lo) {
+			return fmt.Errorf("client: chunk %d archive is rank %d, frame says %d", ch.Index, len(shape), len(rc.lo))
+		}
+		for d, e := range shape {
+			if e != rc.hi[d]-rc.lo[d] {
+				return fmt.Errorf("client: chunk %d archive shape %v does not match frame box [%v, %v)",
+					ch.Index, shape, rc.lo, rc.hi)
+			}
+		}
+		if rc.res, err = rc.arch.Retrieve(plan); err != nil {
+			return fmt.Errorf("client: chunk %d: %w", ch.Index, err)
+		}
+	} else {
+		if err := rc.res.RefineTo(plan); err != nil {
+			return fmt.Errorf("client: chunk %d: %w", ch.Index, err)
+		}
+	}
+	reg.assimilate(rc)
+	return nil
+}
+
+// assimilate copies a tile's overlap with the region into the assembled
+// data at the region's native width.
+func (reg *Region) assimilate(rc *remoteChunk) {
+	clo, chi, ok := store.Intersect(rc.lo, rc.hi, reg.lo, reg.hi)
+	if !ok {
+		return
+	}
+	chunkShape := make([]int, len(rc.lo))
+	for d := range chunkShape {
+		chunkShape[d] = rc.hi[d] - rc.lo[d]
+	}
+	if reg.data32 != nil {
+		store.CopyRegion(reg.data32, reg.shape, reg.lo, core.DataOf[float32](rc.res), chunkShape, rc.lo, clo, chi)
+	} else {
+		store.CopyRegion(reg.data64, reg.shape, reg.lo, core.DataOf[float64](rc.res), chunkShape, rc.lo, clo, chi)
+	}
+}
+
+// Scalar returns the region's element type (the dataset's native width).
+func (reg *Region) Scalar() core.ScalarType { return reg.scalar }
+
+// Shape returns the region's extents, hi-lo per dimension.
+func (reg *Region) Shape() []int { return append([]int(nil), reg.shape...) }
+
+// Lo returns the region's inclusive origin in dataset coordinates.
+func (reg *Region) Lo() []int { return append([]int(nil), reg.lo...) }
+
+// Data returns the region's values in row-major order over Shape(), as
+// float64. Float32 regions are widened into a fresh copy (lossless); use
+// DataFloat32 for the shared native view.
+func (reg *Region) Data() []float64 {
+	if reg.data32 != nil {
+		return grid.WidenSlice(reg.data32)
+	}
+	return reg.data64
+}
+
+// DataFloat32 returns the region's values as float32: the shared native
+// slice for float32 datasets (updated in place by Refine), a narrowed
+// copy for float64 ones.
+func (reg *Region) DataFloat32() []float32 {
+	if reg.data32 != nil {
+		return reg.data32
+	}
+	return grid.NarrowSlice(reg.data64)
+}
+
+// GuaranteedError is the L∞ bound guaranteed across the region, computed
+// from the loading plans of the locally decoded tiles.
+func (reg *Region) GuaranteedError() float64 {
+	worst := 0.0
+	for _, rc := range reg.chunks {
+		if g := rc.res.GuaranteedError(); g > worst {
+			worst = g
+		}
+	}
+	return worst
+}
+
+// Bound returns the tightest absolute bound the server has certified for
+// this region (the token's bound).
+func (reg *Region) Bound() float64 { return reg.bound }
+
+// Token returns the current retrieval token; Refine sends it
+// automatically, but callers sharing state across processes can persist
+// it and pass it to a fresh request's refine= parameter themselves.
+func (reg *Region) Token() string { return reg.token }
+
+// FetchedBytes reports the cumulative response body bytes this region has
+// consumed, across the initial fetch and every refinement.
+func (reg *Region) FetchedBytes() int64 { return reg.fetched }
+
+// Chunks reports how many tiles back the region.
+func (reg *Region) Chunks() int { return len(reg.chunks) }
+
+// countingReader tallies body bytes for FetchedBytes.
+type countingReader struct {
+	r io.Reader
+	n *int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	*c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,82 @@
+package client
+
+import (
+	"bytes"
+	"testing"
+)
+
+func mustInsert(t *testing.T, s *sparseSource, off int64, b []byte) {
+	t.Helper()
+	if err := s.insert(off, b); err != nil {
+		t.Fatalf("insert(%d, %d bytes): %v", off, len(b), err)
+	}
+}
+
+func TestSparseSourceMergeAndRead(t *testing.T) {
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	s := &sparseSource{size: 100}
+	mustInsert(t, s, 0, append([]byte(nil), data[0:10]...))
+	mustInsert(t, s, 20, append([]byte(nil), data[20:30]...))
+	mustInsert(t, s, 10, append([]byte(nil), data[10:20]...)) // fills the gap
+	if len(s.spans) != 1 {
+		t.Fatalf("contiguous inserts left %d spans", len(s.spans))
+	}
+	got, err := s.ReadRange(5, 20) // straddles all three original inserts
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data[5:25]) {
+		t.Error("merged read returned wrong bytes")
+	}
+	if _, err := s.ReadRange(25, 10); err == nil {
+		t.Error("read past delivered ranges succeeded")
+	}
+	if err := s.insert(95, data[0:10]); err == nil {
+		t.Error("insert past size accepted")
+	}
+}
+
+// TestSparseSourceResend pins the protocol-level tolerance the refinement
+// path relies on: per-level plans are not monotone in the bound, so the
+// server may legitimately re-ship ranges the client already holds (and a
+// retried Refine replays ranges wholesale). Identical overlaps must merge
+// silently, storing only the missing sub-ranges; diverging bytes must
+// fail loudly.
+func TestSparseSourceResend(t *testing.T) {
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = byte(37 * i)
+	}
+	s := &sparseSource{size: 100}
+	mustInsert(t, s, 10, append([]byte(nil), data[10:30]...))
+	mustInsert(t, s, 50, append([]byte(nil), data[50:60]...))
+
+	// Re-send covering: a prefix overlap, the gap, and the second span.
+	mustInsert(t, s, 20, append([]byte(nil), data[20:70]...))
+	if len(s.spans) != 1 {
+		t.Fatalf("overlapping re-send left %d spans", len(s.spans))
+	}
+	got, err := s.ReadRange(10, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data[10:70]) {
+		t.Error("re-send merge corrupted bytes")
+	}
+
+	// An exact replay (retry after a dropped connection) is a no-op.
+	mustInsert(t, s, 10, append([]byte(nil), data[10:70]...))
+	if len(s.spans) != 1 {
+		t.Fatalf("replay left %d spans", len(s.spans))
+	}
+
+	// A re-send whose bytes disagree is stream corruption.
+	bad := append([]byte(nil), data[30:40]...)
+	bad[5] ^= 0xFF
+	if err := s.insert(30, bad); err == nil {
+		t.Error("diverging re-sent bytes accepted")
+	}
+}

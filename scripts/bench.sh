@@ -1,17 +1,17 @@
 #!/usr/bin/env bash
 # bench.sh — run the perf-tracked benchmark suites (Fig8 speed, the
-# float32-vs-float64 scalar pairs, chunked store, bitplane transpose,
-# interp/quantize microbenchmarks) and emit a machine-readable
-# BENCH_3.json mapping benchmark name to ns/op, B/op and allocs/op, so the
-# repo's perf trajectory is recorded per PR.
+# float32-vs-float64 scalar pairs, chunked store, HTTP region serving,
+# bitplane transpose, interp/quantize microbenchmarks) and emit a
+# machine-readable BENCH_4.json mapping benchmark name to ns/op, B/op and
+# allocs/op, so the repo's perf trajectory is recorded per PR.
 #
-#   ./scripts/bench.sh                    # full run, writes BENCH_3.json
+#   ./scripts/bench.sh                    # full run, writes BENCH_4.json
 #   BENCHTIME=1x OUT=/dev/null ./scripts/bench.sh   # CI smoke: one iteration
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
-OUT="${OUT:-BENCH_3.json}"
+OUT="${OUT:-BENCH_4.json}"
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
@@ -22,6 +22,7 @@ run() { # run <package> <bench regex>
 
 run .               'BenchmarkFig8CompressIPComp$|BenchmarkFig8DecompressIPComp$|BenchmarkScalarCompress$|BenchmarkScalarDecompress$|BenchmarkScalarRoundTrip$|BenchmarkStorePack$|BenchmarkStorePackF32$|BenchmarkStoreRegion$|BenchmarkStoreExtract$|BenchmarkStoreExtractF32$|BenchmarkBitplaneSplit$|BenchmarkBitplaneSplitAlloc$|BenchmarkBitplaneMerge$'
 run ./internal/interp 'BenchmarkInterpPass$|BenchmarkVisitLevelShim$'
+run ./internal/server 'BenchmarkServerRegion$'
 run ./internal/core   'BenchmarkQuantizeLevel$'
 
 awk -v cpus="$(nproc)" '
