@@ -67,6 +67,61 @@ func TestFloatFileRoundTrip(t *testing.T) {
 	}
 }
 
+// TestOpenContainerErrors pins the CLI contract that opening a container
+// surfaces actionable errors — not raw OS errors — for the common
+// failure shapes: a missing path, a file too small to be a container,
+// garbage bytes, and an unsupported URL scheme.
+func TestOpenContainerErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name, spec, want string
+	}{
+		{"missing file", filepath.Join(dir, "nope.ipcs"), "no such container"},
+		{"unsupported scheme", "gopher://host/c.ipcs", "unsupported scheme"},
+	}
+	tiny := filepath.Join(dir, "tiny.ipcs")
+	if err := os.WriteFile(tiny, []byte("IPC"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, struct{ name, spec, want string }{"undersized file", tiny, "smaller than"})
+	garbage := filepath.Join(dir, "garbage.ipcs")
+	if err := os.WriteFile(garbage, make([]byte, 4096), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, struct{ name, spec, want string }{"garbage file", garbage, "container"})
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s, err := openContainer(c.spec)
+			if err == nil {
+				s.Close()
+				t.Fatalf("openContainer(%q) succeeded", c.spec)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("openContainer(%q) = %q, want it to mention %q", c.spec, err, c.want)
+			}
+		})
+	}
+}
+
+// TestOpenContainerURLForms checks that every spec form the CLI documents
+// — bare path, file:// URL, and an empty-directory spec — resolves (or
+// errors) through one code path.
+func TestOpenContainerURLForms(t *testing.T) {
+	dir := t.TempDir()
+	// An empty directory addresses zero containers; the error must say so
+	// rather than pretending the path is malformed.
+	if _, err := openContainer(dir); err == nil ||
+		!strings.Contains(err.Error(), "0 containers") {
+		t.Errorf("openContainer(empty dir) = %v", err)
+	}
+	// file:// of a missing path keeps the friendly error.
+	if _, err := openContainer("file://" + filepath.Join(dir, "x.ipcs")); err == nil ||
+		!strings.Contains(err.Error(), "no such container") {
+		t.Errorf("openContainer(file:// missing) = %v", err)
+	}
+}
+
 func TestParseDtype(t *testing.T) {
 	for _, c := range []struct {
 		in   string

@@ -16,6 +16,13 @@ import (
 //	ipcomp store ls      -in c.ipcs
 //	ipcomp store extract -in c.ipcs -dataset name [-bound 1e-3] -out out.f64
 //	ipcomp store region  -in c.ipcs -dataset name -lo 0,0,0 -hi 64,64,64 [-bound 1e-3] [-out out.f64]
+//
+// Wherever a subcommand reads a container (-in), a URL works too: ls,
+// extract, and region accept file:// paths, http(s):// URLs of an ipcompd
+// origin (its root, or /v1/containers/<name>), and files on Range-capable
+// static servers — remote reads go through a span cache, so the
+// bytes-loaded figures stay faithful partial-I/O measurements (see
+// docs/BACKENDS.md).
 func cmdStore(args []string) error {
 	if len(args) < 1 {
 		return fmt.Errorf("store requires a subcommand: pack, ls, extract, region")
@@ -32,6 +39,15 @@ func cmdStore(args []string) error {
 	default:
 		return fmt.Errorf("unknown store subcommand %q (want pack, ls, extract, region)", args[0])
 	}
+}
+
+// openContainer opens a container from a local path or URL, the single
+// open path of every reading store subcommand. Errors are user-facing:
+// a missing file reports "no such container", an undersized or garbage
+// file reports what a well-formed container requires, and remote specs
+// carry the URL context — never a bare OS error string.
+func openContainer(spec string) (*ipcomp.Store, error) {
+	return ipcomp.OpenURL(spec)
 }
 
 // parsePoint parses a comma-separated coordinate such as "0,32,64".
@@ -156,12 +172,12 @@ func cmdStorePack(args []string) error {
 
 func cmdStoreLs(args []string) error {
 	fs := flag.NewFlagSet("store ls", flag.ExitOnError)
-	in := fs.String("in", "", "container file")
+	in := fs.String("in", "", "container file or URL")
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("store ls requires -in")
 	}
-	s, err := ipcomp.OpenStoreFile(*in)
+	s, err := openContainer(*in)
 	if err != nil {
 		return err
 	}
@@ -197,7 +213,7 @@ func shapeString(shape []int) string {
 
 func cmdStoreExtract(args []string) error {
 	fs := flag.NewFlagSet("store extract", flag.ExitOnError)
-	in := fs.String("in", "", "container file")
+	in := fs.String("in", "", "container file or URL")
 	name := fs.String("dataset", "", "dataset name")
 	bound := fs.Float64("bound", 0, "L-inf error bound (0 = full fidelity)")
 	out := fs.String("out", "", "output raw float file")
@@ -211,7 +227,7 @@ func cmdStoreExtract(args []string) error {
 	if _, err := parseDtype(*dtypeStr, ipcomp.Float64); err != nil {
 		return err
 	}
-	s, err := ipcomp.OpenStoreFile(*in)
+	s, err := openContainer(*in)
 	if err != nil {
 		return err
 	}
@@ -231,7 +247,7 @@ func cmdStoreExtract(args []string) error {
 
 func cmdStoreRegion(args []string) error {
 	fs := flag.NewFlagSet("store region", flag.ExitOnError)
-	in := fs.String("in", "", "container file")
+	in := fs.String("in", "", "container file or URL")
 	name := fs.String("dataset", "", "dataset name")
 	loStr := fs.String("lo", "", "region origin, e.g. 0,32,0 (inclusive)")
 	hiStr := fs.String("hi", "", "region end, e.g. 64,64,32 (exclusive)")
@@ -255,7 +271,7 @@ func cmdStoreRegion(args []string) error {
 	if err != nil {
 		return err
 	}
-	s, err := ipcomp.OpenStoreFile(*in)
+	s, err := openContainer(*in)
 	if err != nil {
 		return err
 	}

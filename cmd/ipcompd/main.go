@@ -1,18 +1,29 @@
 // Command ipcompd serves IPComp containers over HTTP: dataset listing,
-// metadata, and progressive region-of-interest retrieval with incremental
-// refinement (see docs/PROTOCOL.md).
+// metadata, progressive region-of-interest retrieval with incremental
+// refinement, and the containers' raw bytes under ranged reads (see
+// docs/PROTOCOL.md and docs/BACKENDS.md).
 //
 // Usage:
 //
-//	ipcompd [-listen :8080] [-cache-mb 256] container.ipcs [more.ipcs ...]
+//	ipcompd [-listen :8080] [-cache-mb 256] [-backend-cache-mb 64] [-prefetch-kb 0] <container> ...
+//
+// Each container argument is a local path or a URL: a .ipcs file, a
+// directory of containers, or an http(s) origin — another ipcompd (all of
+// its containers, or one named via /v1/containers/<name>) or a file on
+// any Range-capable static server. Remote containers are read through a
+// span-granular byte cache, which is what turns an ipcompd pointed at
+// another ipcompd into an edge proxy: progressive plane spans are
+// forwarded from the cache without decoding, and warm traffic never
+// touches the origin.
 //
 // Every dataset of every container is served under its own name; names
 // must be unique across the given containers. A quick session:
 //
 //	ipcomp store pack -out c.ipcs -eb 1e-6 -rel density=density.f64:64x96x96
-//	ipcompd -listen :8080 c.ipcs &
-//	curl 'localhost:8080/v1/datasets'
-//	curl 'localhost:8080/v1/datasets/density/region?lo=0,0,0&hi=32,32,32&bound=1e-3' -o roi.f64
+//	ipcompd -listen :8080 c.ipcs &                 # origin
+//	ipcompd -listen :8081 http://localhost:8080 &  # edge proxy of every origin container
+//	curl 'localhost:8081/v1/datasets'
+//	curl 'localhost:8081/v1/datasets/density/region?lo=0,0,0&hi=32,32,32&bound=1e-3' -o roi.f64
 package main
 
 import (
@@ -26,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/server"
 	"repro/internal/store"
 )
@@ -33,8 +45,10 @@ import (
 func main() {
 	listen := flag.String("listen", ":8080", "address to serve HTTP on")
 	cacheMB := flag.Int64("cache-mb", 256, "decoded-tile cache budget per container, in MiB (0 disables)")
+	backendCacheMB := flag.Int64("backend-cache-mb", 64, "span-cache budget per remote backend, in MiB (0 disables)")
+	prefetchKB := flag.Int64("prefetch-kb", 0, "sequential readahead per remote container, in KiB (0 disables)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ipcompd [-listen :8080] [-cache-mb 256] container.ipcs [more.ipcs ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: ipcompd [-listen :8080] [-cache-mb 256] [-backend-cache-mb 64] [-prefetch-kb 0] <path|dir|url> ...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -42,34 +56,88 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*listen, *cacheMB, flag.Args()); err != nil {
+	if *prefetchKB > 0 && *backendCacheMB <= 0 {
+		log.Fatal("-prefetch-kb requires a span cache to land in; set -backend-cache-mb > 0")
+	}
+	if err := run(*listen, *cacheMB, *backendCacheMB, *prefetchKB, flag.Args()); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(listen string, cacheMB int64, paths []string) error {
+// openSpec resolves one container argument to its backend (cached when
+// remote) and the container names to serve from it. explicit reports
+// whether the spec named one container itself (so a failure to open it
+// must abort) or enumerated a backend (where a stray non-container file
+// in a served directory should be skipped, not fatal).
+func openSpec(spec string, backendCacheMB, prefetchKB int64) (b backend.Backend, names []string, explicit bool, err error) {
+	b, name, err := backend.Open(spec)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if backend.IsRemote(b) && backendCacheMB > 0 {
+		b = backend.NewCached(b, backendCacheMB<<20, prefetchKB<<10)
+	}
+	if name != "" {
+		return b, []string{name}, true, nil
+	}
+	names, err = b.List()
+	if err != nil {
+		backend.Close(b)
+		return nil, nil, false, err
+	}
+	if len(names) == 0 {
+		backend.Close(b)
+		return nil, nil, false, fmt.Errorf("%s: no containers to serve", spec)
+	}
+	return b, names, false, nil
+}
+
+func run(listen string, cacheMB, backendCacheMB, prefetchKB int64, specs []string) error {
 	srv := server.New()
-	for _, path := range paths {
-		f, err := os.Open(path)
+	used := make(map[string]bool)
+	for _, spec := range specs {
+		b, names, explicit, err := openSpec(spec, backendCacheMB, prefetchKB)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		st, err := f.Stat()
-		if err != nil {
-			return err
+		defer backend.Close(b)
+		served := 0
+		for _, name := range names {
+			s, err := store.OpenBackend(b, name)
+			if err != nil {
+				// A directory (or origin) can hold stray non-container files
+				// — a README, a checksum, a half-written pack. Skip them; an
+				// explicitly named container must still fail loudly.
+				if !explicit {
+					log.Printf("skipping %s from %s: %v", name, spec, err)
+					continue
+				}
+				return fmt.Errorf("%s: %w", spec, err)
+			}
+			served++
+			s.SetCacheBytes(cacheMB << 20)
+			// Served container names must be unique; two args with the same
+			// base name (x/c.ipcs y/c.ipcs) are disambiguated with a suffix
+			// rather than refused — dataset names still decide whether the
+			// combination is servable at all.
+			serveName := name
+			for i := 2; used[serveName]; i++ {
+				serveName = fmt.Sprintf("%s-%d", name, i)
+			}
+			used[serveName] = true
+			if serveName != name {
+				log.Printf("container %s from %s re-exported as %s (name already served)", name, spec, serveName)
+			}
+			if err := srv.AddStore(serveName, s); err != nil {
+				return fmt.Errorf("%s: %w", spec, err)
+			}
+			for _, ds := range s.Datasets() {
+				log.Printf("serving %s: shape %v %s eb %g (%d chunks, %d compressed bytes) from %s",
+					ds.Name, ds.Shape, ds.Scalar, ds.ErrorBound, ds.NumChunks, ds.CompressedBytes, spec)
+			}
 		}
-		s, err := store.Open(f, st.Size())
-		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
-		}
-		s.SetCacheBytes(cacheMB << 20)
-		if err := srv.AddStore(s); err != nil {
-			return fmt.Errorf("%s: %w", path, err)
-		}
-		for _, ds := range s.Datasets() {
-			log.Printf("serving %s: shape %v %s eb %g (%d chunks, %d compressed bytes) from %s",
-				ds.Name, ds.Shape, ds.Scalar, ds.ErrorBound, ds.NumChunks, ds.CompressedBytes, path)
+		if served == 0 {
+			return fmt.Errorf("%s: no servable containers", spec)
 		}
 	}
 

@@ -75,7 +75,7 @@ func main() {
 		log.Fatal(err)
 	}
 	srv := server.New()
-	if err := srv.AddStore(st); err != nil {
+	if err := srv.AddStore("fields.ipcs", st); err != nil {
 		log.Fatal(err)
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")

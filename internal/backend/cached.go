@@ -1,0 +1,384 @@
+package backend
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultCachedBytes is the default byte budget of a Cached tier.
+const DefaultCachedBytes = 64 << 20
+
+// Cached wraps any Backend with a read-through, byte-budgeted cache —
+// the venti idea of layering a block cache in front of a dumb store,
+// adapted to ipcomp's access pattern. Container reads are plan-driven
+// byte ranges (archive headers, bitplane spans), so the cache is
+// span-granular: it keeps exactly the ranges that were read, merged when
+// adjacent, and evicts least-recently-touched spans when over budget.
+// Concurrent reads of the same missing range coalesce into one origin
+// fetch, and an optional sequential readahead prefetches the bytes that
+// follow a read which continued the previous one — the shape of a client
+// walking a tile's bitplanes plane by plane.
+//
+// Locking is per container (warm reads of different containers never
+// contend) with a global mutex only around the container/flight maps and
+// atomic byte accounting, so the warm path scales with the request
+// concurrency the store's own 16-way sharded tile cache was built for.
+//
+// An edge ipcompd built on Cached(HTTP) serves warm traffic with zero
+// origin reads: region plans touch only archive headers (cached after
+// first contact) and plane spans (cached from the first request that
+// shipped them).
+type Cached struct {
+	inner    Backend
+	budget   int64
+	prefetch int64
+
+	gen  atomic.Int64 // recency stamp for span LRU
+	held atomic.Int64 // resident bytes across all containers
+
+	mu          sync.Mutex // guards the maps below, never held with a container lock
+	containers  map[string]*cachedContainer
+	flights     map[flightKey]*flight
+	prefetching map[string]bool
+
+	hits         atomic.Int64
+	misses       atomic.Int64
+	bytesFetched atomic.Int64
+	prefetched   atomic.Int64
+	coalesced    atomic.Int64
+}
+
+// cachedContainer is one container's resident spans, independently
+// locked; size is immutable.
+type cachedContainer struct {
+	size int64
+
+	mu      sync.Mutex
+	sp      *Sparse
+	lastEnd int64 // end offset of the most recent read, for readahead
+}
+
+// NewCached wraps inner with a cache of budgetBytes. A non-positive
+// budget disables caching entirely — reads pass straight through; there
+// is no implicit default, so callers wanting one pass
+// DefaultCachedBytes themselves. prefetchBytes enables sequential
+// readahead of that many bytes after a read that continued the previous
+// one; 0 disables it.
+func NewCached(inner Backend, budgetBytes, prefetchBytes int64) *Cached {
+	return &Cached{
+		inner:       inner,
+		budget:      budgetBytes,
+		prefetch:    prefetchBytes,
+		containers:  make(map[string]*cachedContainer),
+		flights:     make(map[flightKey]*flight),
+		prefetching: make(map[string]bool),
+	}
+}
+
+// List forwards to the wrapped backend.
+func (c *Cached) List() ([]string, error) { return c.inner.List() }
+
+// Size returns the named container's size (probed once, then cached).
+func (c *Cached) Size(name string) (int64, error) {
+	cc, err := c.container(name)
+	if err != nil {
+		return 0, err
+	}
+	return cc.size, nil
+}
+
+// container returns (resolving if needed) the per-container cache state.
+func (c *Cached) container(name string) (*cachedContainer, error) {
+	c.mu.Lock()
+	cc, ok := c.containers[name]
+	c.mu.Unlock()
+	if ok {
+		return cc, nil
+	}
+	size, err := c.inner.Size(name)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cc, ok := c.containers[name]; ok {
+		return cc, nil
+	}
+	cc = &cachedContainer{sp: NewSparse(size), size: size, lastEnd: -1}
+	c.containers[name] = cc
+	return cc, nil
+}
+
+// ReadAt serves [off, off+len(p)) from resident spans, fetching only the
+// missing gaps from the wrapped backend.
+func (c *Cached) ReadAt(name string, p []byte, off int64) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	cc, err := c.container(name)
+	if err != nil {
+		return 0, err
+	}
+	if err := checkRange(name, off, int64(len(p)), cc.size); err != nil {
+		return 0, err
+	}
+	// A read at or beyond the whole budget would evict itself while being
+	// assembled; bypass the cache entirely (still counted as a miss).
+	if c.budget <= 0 || int64(len(p)) >= c.budget {
+		c.misses.Add(1)
+		n, err := c.inner.ReadAt(name, p, off)
+		c.bytesFetched.Add(int64(n))
+		return n, err
+	}
+	missed := false
+	// The fetch-insert-read loop re-checks coverage each round: a span a
+	// concurrent reader evicted between our insert and our read is simply
+	// re-fetched. Forward progress is guaranteed per round (each fetch
+	// inserts bytes the check found missing), and the bypass above keeps a
+	// single read from thrashing the whole budget, so a bound on rounds is
+	// only a corruption backstop.
+	for attempt := 0; ; attempt++ {
+		cc.mu.Lock()
+		gaps := cc.sp.Missing(off, int64(len(p)))
+		if len(gaps) == 0 {
+			b, err := cc.sp.ReadRange(off, int64(len(p)), c.gen.Add(1))
+			if err != nil {
+				cc.mu.Unlock()
+				return 0, err
+			}
+			copy(p, b)
+			seq := off == cc.lastEnd
+			cc.lastEnd = off + int64(len(p))
+			cc.mu.Unlock()
+			if missed {
+				c.misses.Add(1)
+			} else {
+				c.hits.Add(1)
+			}
+			if seq {
+				c.maybePrefetch(name, cc, off+int64(len(p)))
+			}
+			return len(p), nil
+		}
+		cc.mu.Unlock()
+		if attempt >= 16 {
+			// Sustained mutual eviction (working sets of concurrent readers
+			// exceeding a tight budget) must degrade to an uncached origin
+			// read, not a client-visible error — the origin can always serve
+			// what the cache cannot hold.
+			c.misses.Add(1)
+			n, err := c.inner.ReadAt(name, p, off)
+			c.bytesFetched.Add(int64(n))
+			return n, err
+		}
+		missed = true
+		// Fetch the gaps concurrently: a range interleaved with resident
+		// spans pays one round-trip, not one per hole (coalescing and the
+		// HTTP tier's semaphore already make parallel fetches safe).
+		bufs := make([][]byte, len(gaps))
+		errs := make([]error, len(gaps))
+		if len(gaps) == 1 {
+			bufs[0], errs[0] = c.fetchShared(name, gaps[0], false)
+		} else {
+			var wg sync.WaitGroup
+			for gi, g := range gaps {
+				wg.Add(1)
+				go func(gi int, g Range) {
+					defer wg.Done()
+					bufs[gi], errs[gi] = c.fetchShared(name, g, false)
+				}(gi, g)
+			}
+			wg.Wait()
+		}
+		for gi := range gaps {
+			if errs[gi] != nil {
+				return 0, errs[gi]
+			}
+			c.insert(cc, gaps[gi].Off, bufs[gi])
+		}
+	}
+}
+
+// insert adds fetched bytes to a container's spans, maintaining the
+// global held total and evicting down to budget. The generation is
+// stamped here, under the lock — not before the fetch: a stamp captured
+// pre-fetch can be the globally oldest by the time the network round
+// trip finishes, and a saturated cache would then self-evict the span it
+// just inserted, starving the read. Identical overlapping re-inserts (a
+// coalesced fetch landing twice) merge cleanly; a mismatch means origin
+// corruption, and dropping the insert leaves the next read to surface
+// the fetch error path.
+func (c *Cached) insert(cc *cachedContainer, off int64, b []byte) {
+	cc.mu.Lock()
+	before := cc.sp.Held()
+	err := cc.sp.Insert(off, b, c.gen.Add(1))
+	delta := cc.sp.Held() - before
+	cc.mu.Unlock()
+	if err != nil {
+		return
+	}
+	if c.held.Add(delta) > c.budget {
+		c.evict()
+	}
+}
+
+// evict walks containers, dropping least-recently-touched spans until
+// the budget holds with an extra 1/8 of headroom — each recency scan is
+// O(resident spans), so freeing a batch per pass amortizes the scans
+// across many inserts instead of paying one on every miss at saturation.
+// It takes each container's lock briefly and never the global map lock
+// at the same time; concurrent evictors make independent progress, and
+// the recency scan is an approximation by design (a span touched between
+// scan and evict just gets re-fetched).
+func (c *Cached) evict() {
+	target := c.budget - c.budget/8
+	for {
+		over := c.held.Load() - target
+		if over <= 0 {
+			return
+		}
+		victim := c.oldestContainer()
+		if victim == nil {
+			return
+		}
+		// EvictUpTo frees the whole overage from the victim in one sorted
+		// pass; if the victim holds less than that, the loop moves to the
+		// next-coldest container. Freeing by batch from the container with
+		// the oldest span is a coarser LRU than span-by-span across
+		// containers, traded for O(n log n) per saturation episode instead
+		// of O(n) scans per span.
+		victim.mu.Lock()
+		freed := victim.sp.EvictUpTo(over)
+		victim.mu.Unlock()
+		if freed == 0 {
+			return
+		}
+		c.held.Add(-freed)
+	}
+}
+
+// oldestContainer picks the container holding the least-recently-touched
+// span.
+func (c *Cached) oldestContainer() *cachedContainer {
+	c.mu.Lock()
+	ccs := make([]*cachedContainer, 0, len(c.containers))
+	for _, cc := range c.containers {
+		ccs = append(ccs, cc)
+	}
+	c.mu.Unlock()
+	var victim *cachedContainer
+	var oldest int64
+	for _, cc := range ccs {
+		cc.mu.Lock()
+		g, ok := cc.sp.OldestGen()
+		cc.mu.Unlock()
+		if ok && (victim == nil || g < oldest) {
+			victim, oldest = cc, g
+		}
+	}
+	return victim
+}
+
+// fetchShared reads one gap from the wrapped backend, coalescing
+// concurrent identical fetches into a single origin read.
+func (c *Cached) fetchShared(name string, g Range, speculative bool) ([]byte, error) {
+	key := flightKey{name: name, off: g.Off, n: int(g.Len)}
+	c.mu.Lock()
+	if fl, ok := c.flights[key]; ok {
+		// A demand read joining a readahead's flight demotes it, so the
+		// bytes are booked as demand traffic — the counters describe why
+		// the origin was read, not who asked first. The demotion is always
+		// seen: the initiator books under the same mutex that removes the
+		// flight from the map.
+		if fl.speculative && !speculative {
+			fl.speculative = false
+		}
+		c.mu.Unlock()
+		c.coalesced.Add(1)
+		<-fl.done
+		return fl.b, fl.err
+	}
+	fl := &flight{done: make(chan struct{}), speculative: speculative}
+	c.flights[key] = fl
+	c.mu.Unlock()
+
+	buf := make([]byte, g.Len)
+	_, err := c.inner.ReadAt(name, buf, g.Off)
+	fl.err = err
+	c.mu.Lock()
+	if err == nil {
+		if fl.speculative {
+			c.prefetched.Add(g.Len)
+		} else {
+			c.bytesFetched.Add(g.Len)
+		}
+		fl.b = buf
+	}
+	delete(c.flights, key)
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.b, fl.err
+}
+
+// maybePrefetch starts (at most one per container) a background fetch of
+// the bytes following from, which a sequential reader is about to want.
+func (c *Cached) maybePrefetch(name string, cc *cachedContainer, from int64) {
+	n := c.prefetch
+	if n <= 0 || from >= cc.size {
+		return
+	}
+	if from+n > cc.size {
+		n = cc.size - from
+	}
+	cc.mu.Lock()
+	gaps := cc.sp.Missing(from, n)
+	cc.mu.Unlock()
+	if len(gaps) == 0 {
+		return
+	}
+	c.mu.Lock()
+	if c.prefetching[name] {
+		c.mu.Unlock()
+		return
+	}
+	c.prefetching[name] = true
+	c.mu.Unlock()
+	go func() {
+		defer func() {
+			c.mu.Lock()
+			delete(c.prefetching, name)
+			c.mu.Unlock()
+		}()
+		for _, g := range gaps {
+			b, err := c.fetchShared(name, g, true)
+			if err != nil {
+				return // speculative: the demand path will retry and report
+			}
+			c.insert(cc, g.Off, b)
+		}
+	}()
+}
+
+// Held reports the resident cache bytes.
+func (c *Cached) Held() int64 { return c.held.Load() }
+
+// Counters reports the tier's instrumentation. Coalesced includes reads
+// coalesced by the wrapped backend (an HTTP origin dedupes too);
+// BytesFetched and Prefetched count this tier's own origin reads, so
+// wrapping does not double-count.
+func (c *Cached) Counters() Counters {
+	out := Counters{
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		BytesFetched: c.bytesFetched.Load(),
+		Prefetched:   c.prefetched.Load(),
+		Coalesced:    c.coalesced.Load(),
+	}
+	if cs, ok := c.inner.(CounterSource); ok {
+		out.Coalesced += cs.Counters().Coalesced
+	}
+	return out
+}
+
+// Close closes the wrapped backend.
+func (c *Cached) Close() error { return Close(c.inner) }

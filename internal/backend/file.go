@@ -1,0 +1,196 @@
+package backend
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Dir serves every regular file of one local directory as a container,
+// keyed by base name. File handles open lazily on first read and stay
+// open until Close, so repeated ranged reads cost one pread each.
+type Dir struct {
+	dir string
+
+	mu    sync.Mutex
+	files map[string]*os.File
+}
+
+// NewDir creates a backend over the given directory. The directory is
+// validated eagerly so a typo fails at open time, not first read.
+func NewDir(dir string) (*Dir, error) {
+	st, err := os.Stat(dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("backend: no such directory %q", dir)
+		}
+		return nil, err
+	}
+	if !st.IsDir() {
+		return nil, fmt.Errorf("backend: %q is not a directory", dir)
+	}
+	return &Dir{dir: dir, files: make(map[string]*os.File)}, nil
+}
+
+// List returns the directory's container names, sorted: regular files
+// plus symlinks that resolve to regular files (a common deployment
+// layout symlinks containers into a data volume; open serves them by
+// name, so List must report them).
+func (d *Dir) List() ([]string, error) {
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		if e.Type().IsRegular() {
+			names = append(names, e.Name())
+			continue
+		}
+		if e.Type()&fs.ModeSymlink != 0 {
+			if st, err := os.Stat(filepath.Join(d.dir, e.Name())); err == nil && st.Mode().IsRegular() {
+				names = append(names, e.Name())
+			}
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// checkName rejects names that would escape the directory.
+func checkName(name string) error {
+	if name == "" || name != filepath.Base(name) || name == "." || name == ".." {
+		return fmt.Errorf("backend: invalid container name %q", name)
+	}
+	return nil
+}
+
+// open returns (opening if needed) the handle for name.
+func (d *Dir) open(name string) (*os.File, error) {
+	if err := checkName(name); err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if f, ok := d.files[name]; ok {
+		return f, nil
+	}
+	f, err := os.Open(filepath.Join(d.dir, name))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("backend: no container %q in %q", name, d.dir)
+		}
+		return nil, err
+	}
+	d.files[name] = f
+	return f, nil
+}
+
+// Size returns the named file's size.
+func (d *Dir) Size(name string) (int64, error) {
+	f, err := d.open(name)
+	if err != nil {
+		return 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// ReadAt reads a range of the named file.
+func (d *Dir) ReadAt(name string, p []byte, off int64) (int, error) {
+	f, err := d.open(name)
+	if err != nil {
+		return 0, err
+	}
+	return f.ReadAt(p, off)
+}
+
+// Close releases every open file handle.
+func (d *Dir) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var first error
+	for name, f := range d.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(d.files, name)
+	}
+	return first
+}
+
+// File serves exactly one local file as a single-container backend named
+// by its base name.
+type File struct {
+	path string
+	name string
+	f    *os.File
+	size int64
+}
+
+// NewFile opens the file eagerly, so a missing path fails with a clear
+// error at construction instead of surfacing as a raw OS error from the
+// middle of a read.
+func NewFile(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("backend: no such container %q", path)
+		}
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.IsDir() {
+		f.Close()
+		return nil, fmt.Errorf("backend: %q is a directory, not a container file", path)
+	}
+	return &File{path: path, name: filepath.Base(path), f: f, size: st.Size()}, nil
+}
+
+// Name returns the single container's name (the file's base name).
+func (f *File) Name() string { return f.name }
+
+// List returns the single container name.
+func (f *File) List() ([]string, error) { return []string{f.name}, nil }
+
+// check validates that name addresses the one file this backend serves.
+func (f *File) check(name string) error {
+	if name != f.name {
+		return fmt.Errorf("backend: no container %q (this backend serves only %q)", name, f.name)
+	}
+	return nil
+}
+
+// Size returns the file's size.
+func (f *File) Size(name string) (int64, error) {
+	if err := f.check(name); err != nil {
+		return 0, err
+	}
+	return f.size, nil
+}
+
+// ReadAt reads a range of the file.
+func (f *File) ReadAt(name string, p []byte, off int64) (int, error) {
+	if err := f.check(name); err != nil {
+		return 0, err
+	}
+	return f.f.ReadAt(p, off)
+}
+
+// Close releases the file handle.
+func (f *File) Close() error { return f.f.Close() }

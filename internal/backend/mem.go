@@ -1,0 +1,66 @@
+package backend
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Mem serves containers from byte slices — the backend for tests and for
+// embedding pre-built containers in a process.
+type Mem struct {
+	mu    sync.RWMutex
+	m     map[string][]byte
+	order []string
+}
+
+// NewMem creates an empty in-memory backend.
+func NewMem() *Mem { return &Mem{m: make(map[string][]byte)} }
+
+// Add registers (or replaces) a container. The backend aliases b; callers
+// must not mutate it afterwards.
+func (m *Mem) Add(name string, b []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.m[name]; !ok {
+		m.order = append(m.order, name)
+	}
+	m.m[name] = b
+}
+
+// List returns container names in insertion order.
+func (m *Mem) List() ([]string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]string(nil), m.order...), nil
+}
+
+func (m *Mem) get(name string) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	b, ok := m.m[name]
+	if !ok {
+		return nil, fmt.Errorf("backend: no container %q in memory (have %v)", name, m.order)
+	}
+	return b, nil
+}
+
+// Size returns the named container's size.
+func (m *Mem) Size(name string) (int64, error) {
+	b, err := m.get(name)
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(b)), nil
+}
+
+// ReadAt copies a range of the named container into p.
+func (m *Mem) ReadAt(name string, p []byte, off int64) (int, error) {
+	b, err := m.get(name)
+	if err != nil {
+		return 0, err
+	}
+	if err := checkRange(name, off, int64(len(p)), int64(len(b))); err != nil {
+		return 0, err
+	}
+	return copy(p, b[off:]), nil
+}

@@ -43,7 +43,7 @@ func BenchmarkServerRegion(b *testing.B) {
 		b.Fatal(err)
 	}
 	srv := New()
-	if err := srv.AddStore(st); err != nil {
+	if err := srv.AddStore("test.ipcs", st); err != nil {
 		b.Fatal(err)
 	}
 	ts := httptest.NewServer(srv.Handler())

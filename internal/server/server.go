@@ -1,13 +1,17 @@
 package server
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"net/http"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/store"
 )
@@ -18,10 +22,18 @@ import (
 // underlying stores are safe for concurrent use, so one Server handles any
 // number of in-flight requests; hot tiles are decoded once and streamed to
 // every requester from the shared tile cache.
+//
+// Containers themselves are also re-exported as ranged raw bytes under
+// /v1/containers/{name}, which makes any ipcompd a storage backend for
+// another: an edge instance opens an origin's containers through the
+// http+cached backend and serves the same datasets, forwarding compressed
+// plane spans without decoding and answering warm traffic from its span
+// cache.
 type Server struct {
-	datasets map[string]*dataset
-	order    []string
-	stores   []*store.Store
+	datasets       map[string]*dataset
+	order          []string
+	containers     map[string]*servedContainer
+	containerOrder []string
 }
 
 // dataset routes one dataset name to its backing store.
@@ -30,16 +42,52 @@ type dataset struct {
 	info store.DatasetInfo
 }
 
-// New creates an empty Server; add containers with AddStore.
-func New() *Server {
-	return &Server{datasets: make(map[string]*dataset)}
+// servedContainer is one re-exported container and its freshness
+// validator.
+type servedContainer struct {
+	s    *store.Store
+	etag string
 }
 
-// AddStore registers every dataset of an open container. It fails if a
-// dataset name is already served (containers cannot shadow each other);
-// on failure nothing is registered, so a caller that continues past the
-// error serves exactly what it served before.
-func (srv *Server) AddStore(s *store.Store) error {
+// New creates an empty Server; add containers with AddStore.
+func New() *Server {
+	return &Server{
+		datasets:   make(map[string]*dataset),
+		containers: make(map[string]*servedContainer),
+	}
+}
+
+// containerETag derives a freshness validator from the container's size
+// and tail (the footer pins the index offset, so any repack changes it).
+// Remote readers present it as If-Range, which is what keeps an edge's
+// span cache from splicing two versions of a replaced container. A
+// failed tail read fails registration: a size-only validator would match
+// a same-size repack, which is exactly the corruption this exists to
+// stop.
+func containerETag(s *store.Store) (string, error) {
+	h := fnv.New64a()
+	binary.Write(h, binary.LittleEndian, s.Size())
+	tail := make([]byte, 64)
+	if s.Size() < int64(len(tail)) {
+		tail = tail[:s.Size()]
+	}
+	if _, err := s.SectionReader().ReadAt(tail, s.Size()-int64(len(tail))); err != nil {
+		return "", fmt.Errorf("server: reading container tail for its validator: %w", err)
+	}
+	h.Write(tail)
+	return fmt.Sprintf(`"%016x"`, h.Sum64()), nil
+}
+
+// AddStore registers an open container under the given name (its file
+// base name or backend container name), serving every dataset it holds.
+// It fails if the container name or a dataset name is already served
+// (containers cannot shadow each other); on failure nothing is
+// registered, so a caller that continues past the error serves exactly
+// what it served before.
+func (srv *Server) AddStore(name string, s *store.Store) error {
+	if _, ok := srv.containers[name]; ok {
+		return fmt.Errorf("server: container %q already served", name)
+	}
 	infos := s.Datasets()
 	batch := make(map[string]bool, len(infos))
 	for _, info := range infos {
@@ -51,21 +99,30 @@ func (srv *Server) AddStore(s *store.Store) error {
 		}
 		batch[info.Name] = true
 	}
+	// The validator read happens before anything registers, so a failure
+	// leaves the server serving exactly what it served before.
+	etag, err := containerETag(s)
+	if err != nil {
+		return err
+	}
 	for _, info := range infos {
 		srv.datasets[info.Name] = &dataset{s: s, info: info}
 		srv.order = append(srv.order, info.Name)
 	}
-	srv.stores = append(srv.stores, s)
+	srv.containers[name] = &servedContainer{s: s, etag: etag}
+	srv.containerOrder = append(srv.containerOrder, name)
 	return nil
 }
 
 // Handler returns the HTTP API (see docs/PROTOCOL.md):
 //
 //	GET /healthz                     liveness
-//	GET /v1/stats                    tile cache counters
+//	GET /v1/stats                    tile cache + backend counters
 //	GET /v1/datasets                 list datasets
 //	GET /v1/datasets/{name}          one dataset's metadata
 //	GET /v1/datasets/{name}/region   progressive region retrieval
+//	GET /v1/containers               list served containers (name, size)
+//	GET /v1/containers/{name}        raw container bytes, Range-capable
 func (srv *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -75,7 +132,46 @@ func (srv *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/datasets", srv.handleList)
 	mux.HandleFunc("GET /v1/datasets/{name}", srv.handleDataset)
 	mux.HandleFunc("GET /v1/datasets/{name}/region", srv.handleRegion)
+	mux.HandleFunc("GET /v1/containers", srv.handleContainers)
+	mux.HandleFunc("GET /v1/containers/{name}", srv.handleContainer)
 	return mux
+}
+
+// ContainerDoc is the JSON document describing one served container —
+// the listing the http backend consumes to enumerate an origin.
+type ContainerDoc struct {
+	Name string `json:"name"`
+	Size int64  `json:"size"`
+	ETag string `json:"etag"`
+}
+
+func (srv *Server) handleContainers(w http.ResponseWriter, r *http.Request) {
+	docs := make([]ContainerDoc, 0, len(srv.containerOrder))
+	for _, name := range srv.containerOrder {
+		c := srv.containers[name]
+		docs = append(docs, ContainerDoc{Name: name, Size: c.s.Size(), ETag: c.etag})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"containers": docs})
+}
+
+// handleContainer streams a container's raw bytes with full Range
+// support, turning this ipcompd into a storage backend for edge
+// instances (or any Range-capable client).
+func (srv *Server) handleContainer(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	c, ok := srv.containers[name]
+	if !ok {
+		have := append([]string(nil), srv.containerOrder...)
+		sort.Strings(have)
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no container %q (have %s)", name, strings.Join(have, ", ")))
+		return
+	}
+	// An explicit type stops ServeContent from sniffing (a read of the
+	// first 512 bytes) and pins the framing for clients; the ETag lets
+	// ServeContent honor If-Range, so edge caches detect replacement.
+	w.Header().Set("Content-Type", "application/x-ipcomp-container")
+	w.Header().Set("Etag", c.etag)
+	http.ServeContent(w, r, "", time.Time{}, c.s.SectionReader())
 }
 
 // DatasetDoc is the JSON document describing one dataset.
@@ -101,21 +197,45 @@ func docOf(info store.DatasetInfo) DatasetDoc {
 	}
 }
 
-// StatsDoc is the JSON document of /v1/stats.
+// StatsDoc is the JSON document of /v1/stats: tile-level cache counters
+// summed across stores, plus the storage-backend byte-level counters for
+// stores opened through a counting backend (an edge proxy's span cache).
 type StatsDoc struct {
-	Datasets    int   `json:"datasets"`
-	TileDecodes int64 `json:"tile_decodes"`
-	TileRefines int64 `json:"tile_refines"`
-	TileHits    int64 `json:"tile_hits"`
+	Datasets            int   `json:"datasets"`
+	Containers          int   `json:"containers"`
+	TileDecodes         int64 `json:"tile_decodes"`
+	TileRefines         int64 `json:"tile_refines"`
+	TileHits            int64 `json:"tile_hits"`
+	BackendHits         int64 `json:"backend_hits"`
+	BackendMisses       int64 `json:"backend_misses"`
+	BackendBytesFetched int64 `json:"backend_bytes_fetched"`
+	BackendPrefetched   int64 `json:"backend_prefetched_bytes"`
+	BackendCoalesced    int64 `json:"backend_coalesced_reads"`
 }
 
 func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	doc := StatsDoc{Datasets: len(srv.order)}
-	for _, s := range srv.stores {
+	doc := StatsDoc{Datasets: len(srv.order), Containers: len(srv.containerOrder)}
+	// Stores opened on one shared backend (an edge serving every container
+	// of one origin) report the same backend-wide CounterSource; dedupe by
+	// identity so shared counters are summed once, not once per container.
+	seen := make(map[backend.CounterSource]bool)
+	for _, name := range srv.containerOrder {
+		s := srv.containers[name].s
 		st := s.Stats()
 		doc.TileDecodes += st.TileDecodes
 		doc.TileRefines += st.TileRefines
 		doc.TileHits += st.TileHits
+		cs := s.CounterSource()
+		if cs == nil || seen[cs] {
+			continue
+		}
+		seen[cs] = true
+		c := cs.Counters()
+		doc.BackendHits += c.Hits
+		doc.BackendMisses += c.Misses
+		doc.BackendBytesFetched += c.BytesFetched
+		doc.BackendPrefetched += c.Prefetched
+		doc.BackendCoalesced += c.Coalesced
 	}
 	writeJSON(w, http.StatusOK, doc)
 }

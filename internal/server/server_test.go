@@ -63,7 +63,7 @@ func newTestEnv(t testing.TB) *testEnv {
 		t.Fatal(err)
 	}
 	srv := New()
-	if err := srv.AddStore(st); err != nil {
+	if err := srv.AddStore("test.ipcs", st); err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(srv.Handler())

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 )
 
@@ -111,6 +112,10 @@ type Stats struct {
 	// TileHits is the number of per-tile queries served entirely from the
 	// cache, with no container I/O.
 	TileHits int64
+	// Backend is the storage backend's byte-level counters (span-cache
+	// hits/misses, origin bytes fetched, coalesced reads); zero for stores
+	// opened on a plain io.ReaderAt or a counter-less backend.
+	Backend backend.Counters
 }
 
 // cacheStats is the atomic backing of Stats.

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/grid"
 )
@@ -27,12 +28,17 @@ type Store struct {
 	order    []string
 	cache    *chunkCache
 	stats    cacheStats
+	counters backend.CounterSource // non-nil for backend-opened stores
 }
+
+// MinSize is the smallest well-formed container (empty preamble+footer);
+// anything shorter cannot be an IPComp container at all.
+const MinSize = preambleSize + footerSize
 
 // Open parses a container's index from an io.ReaderAt of the given size.
 func Open(r io.ReaderAt, size int64) (*Store, error) {
-	if size < preambleSize+footerSize {
-		return nil, errCorrupt
+	if size < MinSize {
+		return nil, fmt.Errorf("store: %d bytes is smaller than the %d-byte minimum container — not an IPComp container", size, MinSize)
 	}
 	pre := make([]byte, preambleSize)
 	if _, err := r.ReadAt(pre, 0); err != nil {
@@ -74,6 +80,36 @@ func Open(r io.ReaderAt, size int64) (*Store, error) {
 	return s, nil
 }
 
+// OpenBackend opens the named container of a backend. The store's ranged
+// reads — index parse, tile header reads, decodes, wire-span serving —
+// all flow through the backend, so the same store works against a local
+// directory, an in-memory blob, or a (cached) remote origin. If the
+// backend carries read counters (a Cached or HTTP tier), Stats surfaces
+// them.
+func OpenBackend(b backend.Backend, name string) (*Store, error) {
+	c, err := backend.OpenContainer(b, name)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Open(c, c.Size())
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	// Hold the backend itself as the counter source (not a per-container
+	// adapter): stores sharing one backend then report an identical
+	// CounterSource, which is what lets aggregators (the /v1/stats
+	// endpoint) deduplicate instead of multiple-counting shared counters.
+	if cs, ok := b.(backend.CounterSource); ok {
+		s.counters = cs
+	}
+	return s, nil
+}
+
+// CounterSource returns the backend counter source this store reads
+// through, or nil. Stores opened on the same backend return the same
+// value — aggregate by identity to avoid double-counting.
+func (s *Store) CounterSource() backend.CounterSource { return s.counters }
+
 // SetCacheBytes resizes the decoded-chunk LRU cache; 0 disables caching.
 // The budget is split evenly across the cache's lock shards; each shard
 // always retains its most recent tile even when that tile alone exceeds
@@ -81,8 +117,17 @@ func Open(r io.ReaderAt, size int64) (*Store, error) {
 // shard, and oversized tiles still deduplicate concurrent decodes).
 func (s *Store) SetCacheBytes(n int64) { s.cache.resize(n) }
 
-// Stats returns a snapshot of the store's tile-level cache counters.
-func (s *Store) Stats() Stats { return s.stats.snapshot() }
+// Stats returns a snapshot of the store's tile-level cache counters,
+// plus the byte-level counters of the storage backend when the store was
+// opened through one that keeps them (OpenBackend over a Cached or HTTP
+// tier).
+func (s *Store) Stats() Stats {
+	st := s.stats.snapshot()
+	if s.counters != nil {
+		st.Backend = s.counters.Counters()
+	}
+	return st
+}
 
 // DatasetInfo summarizes one dataset of a container.
 type DatasetInfo struct {
@@ -115,6 +160,15 @@ func (s *Store) Datasets() []DatasetInfo {
 
 // Size returns the container's total size in bytes.
 func (s *Store) Size() int64 { return s.size }
+
+// SectionReader returns a fresh io.ReadSeeker+io.ReaderAt over the whole
+// container. Each call returns an independent reader (safe to use
+// concurrently with others), which is what lets ipcompd re-export its
+// containers' raw bytes over ranged HTTP — including containers it is
+// itself reading from a remote backend.
+func (s *Store) SectionReader() *io.SectionReader {
+	return io.NewSectionReader(s.src, 0, s.size)
+}
 
 // Region is the result of a region-of-interest retrieval, held at the
 // dataset's native scalar width (exactly one backing slice is non-nil).

@@ -157,7 +157,7 @@ func (reg *Region) readChunk(br *bufio.Reader, rank int) error {
 		rc = &remoteChunk{
 			lo:  ch.Lo,
 			hi:  ch.Hi,
-			src: &sparseSource{size: ch.BlobSize},
+			src: newSparseSource(ch.BlobSize),
 		}
 		reg.chunks[ch.Index] = rc
 	} else {

@@ -1,10 +1,6 @@
 package client
 
-import (
-	"bytes"
-	"fmt"
-	"sort"
-)
+import "repro/internal/backend"
 
 // sparseSource is a core.BlockSource over the byte ranges of a remote
 // archive that the server has shipped so far. Fresh responses seed it with
@@ -12,94 +8,30 @@ import (
 // delta ranges. Reads outside delivered ranges fail loudly — with correct
 // plans they never happen, because the decoder reads exactly the spans the
 // plan selected and the server shipped exactly those.
+//
+// The span store itself is backend.Sparse — the same merge-and-verify
+// buffer that backs the cached storage tier — so the client's tile
+// reassembly and an edge proxy's byte cache share one set of semantics:
+// identical re-sent ranges merge silently (per-level plans are not
+// monotone in the bound, so servers legitimately re-ship ranges), and
+// diverging bytes fail loudly.
 type sparseSource struct {
-	size  int64
-	spans []sparseSpan // sorted by off, non-overlapping, contiguous merged
+	sp *backend.Sparse
 }
 
-type sparseSpan struct {
-	off int64
-	b   []byte
+func newSparseSource(size int64) *sparseSource {
+	return &sparseSource{sp: backend.NewSparse(size)}
 }
 
-// insert adds [off, off+len(b)) to the source. Portions the source
-// already holds are verified to carry identical bytes and skipped, and
-// only the missing sub-ranges are stored. Tolerating re-sent ranges is
-// part of the protocol, not just robustness: per-level loading plans are
-// not monotone in the error bound, so a refinement token can understate
-// what the client holds and the server legitimately re-ships a range the
-// client applied earlier — and a Refine retried after a mid-body network
-// failure replays ranges that already landed. Both must merge cleanly.
+// insert adds [off, off+len(b)) to the source, taking ownership of b.
 func (s *sparseSource) insert(off int64, b []byte) error {
-	if off < 0 || off+int64(len(b)) > s.size {
-		return fmt.Errorf("client: span [%d,%d) outside archive of %d bytes", off, off+int64(len(b)), s.size)
-	}
-	pos, rest := off, b
-	var add []sparseSpan
-	for i := range s.spans {
-		if len(rest) == 0 {
-			break
-		}
-		sp := &s.spans[i]
-		spEnd := sp.off + int64(len(sp.b))
-		if spEnd <= pos {
-			continue
-		}
-		if sp.off >= pos+int64(len(rest)) {
-			break
-		}
-		if sp.off > pos {
-			// The gap [pos, sp.off) is new.
-			n := sp.off - pos
-			add = append(add, sparseSpan{off: pos, b: rest[:n:n]})
-			pos, rest = pos+n, rest[n:]
-		}
-		// [pos, min(spEnd, end)) overlaps span i: verify, then skip.
-		n := spEnd - pos
-		if n > int64(len(rest)) {
-			n = int64(len(rest))
-		}
-		rel := pos - sp.off
-		if !bytes.Equal(sp.b[rel:rel+n], rest[:n]) {
-			return fmt.Errorf("client: server re-sent range at %d with different bytes", pos)
-		}
-		pos, rest = pos+n, rest[n:]
-	}
-	if len(rest) > 0 {
-		add = append(add, sparseSpan{off: pos, b: rest})
-	}
-	if len(add) == 0 {
-		return nil
-	}
-	s.spans = append(s.spans, add...)
-	sort.Slice(s.spans, func(i, j int) bool { return s.spans[i].off < s.spans[j].off })
-	// Merge contiguous neighbours so later reads may straddle what arrived
-	// as separate spans.
-	merged := s.spans[:1]
-	for _, sp := range s.spans[1:] {
-		last := &merged[len(merged)-1]
-		if last.off+int64(len(last.b)) == sp.off {
-			last.b = append(last.b, sp.b...)
-		} else {
-			merged = append(merged, sp)
-		}
-	}
-	s.spans = merged
-	return nil
+	return s.sp.Insert(off, b, 0)
 }
 
 // ReadRange implements core.BlockSource over the delivered ranges.
 func (s *sparseSource) ReadRange(off int64, n int) ([]byte, error) {
-	if n < 0 || off < 0 {
-		return nil, fmt.Errorf("client: invalid read [%d,+%d)", off, n)
-	}
-	i := sort.Search(len(s.spans), func(i int) bool { return s.spans[i].off+int64(len(s.spans[i].b)) > off })
-	if i == len(s.spans) || s.spans[i].off > off || off+int64(n) > s.spans[i].off+int64(len(s.spans[i].b)) {
-		return nil, fmt.Errorf("client: read [%d,%d) outside the ranges the server delivered", off, off+int64(n))
-	}
-	rel := off - s.spans[i].off
-	return s.spans[i].b[rel : rel+int64(n)], nil
+	return s.sp.ReadRange(off, int64(n), 0)
 }
 
 // Size implements core.BlockSource.
-func (s *sparseSource) Size() int64 { return s.size }
+func (s *sparseSource) Size() int64 { return s.sp.Size() }

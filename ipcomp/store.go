@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/backend"
 	"repro/internal/grid"
 	"repro/internal/store"
 )
@@ -163,8 +164,65 @@ func OpenStoreFile(path string) (*Store, error) {
 	return &Store{s: s, c: f}, nil
 }
 
-// Close releases the file handle held by OpenStoreFile; it is a no-op for
-// stores opened on a caller-owned reader.
+// OpenURL opens a container addressed by a local path or URL, routing the
+// store's ranged reads through the matching storage backend:
+//
+//	/data/climate.ipcs                           local file
+//	file:///data/climate.ipcs                    local file
+//	http://host:8080                             an ipcompd origin (must serve exactly one container)
+//	http://host:8080/v1/containers/climate.ipcs  one container of an ipcompd origin
+//	https://cdn/data/climate.ipcs                a file on any Range-capable static server
+//
+// Remote (http/https) containers are opened through a read-through span
+// cache (backend.DefaultCachedBytes), so repeated and refining queries
+// fetch each byte range from the origin at most once; Stats reports the
+// cache's counters. Close releases the backend.
+func OpenURL(spec string) (*Store, error) {
+	b, name, err := backend.Open(spec)
+	if err != nil {
+		return nil, err
+	}
+	if name == "" {
+		names, err := b.List()
+		if err != nil {
+			backend.Close(b)
+			return nil, err
+		}
+		if len(names) != 1 {
+			backend.Close(b)
+			return nil, fmt.Errorf("ipcomp: %q addresses %d containers %v; name one (e.g. append it to the URL or path)",
+				spec, len(names), names)
+		}
+		name = names[0]
+	}
+	if backend.IsRemote(b) {
+		b = backend.NewCached(b, backend.DefaultCachedBytes, 0)
+	}
+	s, err := store.OpenBackend(b, name)
+	if err != nil {
+		backend.Close(b)
+		return nil, err
+	}
+	return &Store{s: s, c: backendCloser{b}}, nil
+}
+
+// backendCloser adapts backend.Close to io.Closer for Store.Close.
+type backendCloser struct{ b backend.Backend }
+
+func (c backendCloser) Close() error { return backend.Close(c.b) }
+
+// StoreStats is a snapshot of a store's cache counters: tile-level
+// decode/refine/hit counts, plus the storage backend's span-cache
+// counters (hits, misses, origin bytes fetched, coalesced reads) for
+// stores opened through OpenURL on a remote backend.
+type StoreStats = store.Stats
+
+// Stats returns the store's cache counters.
+func (s *Store) Stats() StoreStats { return s.s.Stats() }
+
+// Close releases the file handle held by OpenStoreFile (or the storage
+// backend held by OpenURL); it is a no-op for stores opened on a
+// caller-owned reader.
 func (s *Store) Close() error {
 	if s.c == nil {
 		return nil
