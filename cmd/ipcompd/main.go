@@ -5,7 +5,9 @@
 //
 // Usage:
 //
-//	ipcompd [-listen :8080] [-cache-mb 256] [-backend-cache-mb 64] [-prefetch-kb 0] <container> ...
+//	ipcompd [-listen :8080] [-cache-mb 256] [-backend-cache-mb 64] [-prefetch-kb 0]
+//	        [-self NAME -peers NAME=URL,... [-replication 2] [-vnodes 64]]
+//	        <container> ...
 //
 // Each container argument is a local path or a URL: a .ipcs file, a
 // directory of containers, or an http(s) origin — another ipcompd (all of
@@ -24,6 +26,18 @@
 //	ipcompd -listen :8081 http://localhost:8080 &  # edge proxy of every origin container
 //	curl 'localhost:8081/v1/datasets'
 //	curl 'localhost:8081/v1/datasets/density/region?lo=0,0,0&hi=32,32,32&bound=1e-3' -o roi.f64
+//
+// Cluster mode (-self/-peers, see docs/CLUSTER.md) shards the containers
+// across a set of ipcompd peers by consistent hashing: every node gets
+// the identical -peers list and the identical container arguments, opens
+// all of them, serves the ones the ring assigns it, and transparently
+// forwards requests for the rest to an owning peer (failing over between
+// replicas). Clients keep speaking the ordinary protocol to any node:
+//
+//	ipcompd -listen :8080 -self n1 -peers n1=http://h1:8080,n2=http://h2:8080,n3=http://h3:8080 data/ &
+//	ipcompd -listen :8080 -self n2 -peers n1=http://h1:8080,n2=http://h2:8080,n3=http://h3:8080 data/ &
+//	ipcompd -listen :8080 -self n3 -peers n1=http://h1:8080,n2=http://h2:8080,n3=http://h3:8080 data/ &
+//	curl 'h2:8080/v1/datasets/density/region?lo=0,0,0&hi=32,32,32&bound=1e-3'  # any node answers
 package main
 
 import (
@@ -34,6 +48,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -47,8 +62,12 @@ func main() {
 	cacheMB := flag.Int64("cache-mb", 256, "decoded-tile cache budget per container, in MiB (0 disables)")
 	backendCacheMB := flag.Int64("backend-cache-mb", 64, "span-cache budget per remote backend, in MiB (0 disables)")
 	prefetchKB := flag.Int64("prefetch-kb", 0, "sequential readahead per remote container, in KiB (0 disables)")
+	self := flag.String("self", "", "cluster mode: this node's name in -peers")
+	peers := flag.String("peers", "", "cluster mode: full membership as name=url,name=url,... (identical on every node)")
+	replication := flag.Int("replication", 2, "cluster mode: replicas per container")
+	vnodes := flag.Int("vnodes", 0, "cluster mode: virtual nodes per peer (0 = default)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ipcompd [-listen :8080] [-cache-mb 256] [-backend-cache-mb 64] [-prefetch-kb 0] <path|dir|url> ...\n")
+		fmt.Fprintf(os.Stderr, "usage: ipcompd [-listen :8080] [-cache-mb 256] [-backend-cache-mb 64] [-prefetch-kb 0] [-self NAME -peers NAME=URL,...] <path|dir|url> ...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -59,9 +78,43 @@ func main() {
 	if *prefetchKB > 0 && *backendCacheMB <= 0 {
 		log.Fatal("-prefetch-kb requires a span cache to land in; set -backend-cache-mb > 0")
 	}
-	if err := run(*listen, *cacheMB, *backendCacheMB, *prefetchKB, flag.Args()); err != nil {
+	if (*self == "") != (*peers == "") {
+		log.Fatal("cluster mode needs both -self and -peers")
+	}
+	cl := clusterFlags{self: *self, peers: *peers, replication: *replication, vnodes: *vnodes}
+	if err := run(*listen, *cacheMB, *backendCacheMB, *prefetchKB, cl, flag.Args()); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// clusterFlags carries the cluster-mode command line; self=="" means
+// single-node mode.
+type clusterFlags struct {
+	self        string
+	peers       string
+	replication int
+	vnodes      int
+}
+
+// parsePeers parses "n1=http://h1:8080,n2=http://h2:8080" into the
+// membership list.
+func parsePeers(s string) ([]server.Peer, error) {
+	var out []server.Peer
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(part, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("-peers entry %q is not name=url", part)
+		}
+		out = append(out, server.Peer{Name: name, URL: url})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-peers lists no peers")
+	}
+	return out, nil
 }
 
 // openSpec resolves one container argument to its backend (cached when
@@ -92,15 +145,23 @@ func openSpec(spec string, backendCacheMB, prefetchKB int64) (b backend.Backend,
 	return b, names, false, nil
 }
 
-func run(listen string, cacheMB, backendCacheMB, prefetchKB int64, specs []string) error {
-	srv := server.New()
+// register opens every container spec and registers it with the server:
+// owned containers are served (AddStore), peer-owned ones enter the
+// routing catalog (AddRemote). Outside cluster mode everything is owned.
+func register(srv *server.Server, clustered bool, cacheMB, backendCacheMB, prefetchKB int64, specs []string) (cleanup func(), err error) {
+	var backends []backend.Backend
+	cleanup = func() {
+		for _, b := range backends {
+			backend.Close(b)
+		}
+	}
 	used := make(map[string]bool)
 	for _, spec := range specs {
 		b, names, explicit, err := openSpec(spec, backendCacheMB, prefetchKB)
 		if err != nil {
-			return err
+			return cleanup, err
 		}
-		defer backend.Close(b)
+		backends = append(backends, b)
 		served := 0
 		for _, name := range names {
 			s, err := store.OpenBackend(b, name)
@@ -112,35 +173,78 @@ func run(listen string, cacheMB, backendCacheMB, prefetchKB int64, specs []strin
 					log.Printf("skipping %s from %s: %v", name, spec, err)
 					continue
 				}
-				return fmt.Errorf("%s: %w", spec, err)
+				return cleanup, fmt.Errorf("%s: %w", spec, err)
 			}
 			served++
-			s.SetCacheBytes(cacheMB << 20)
 			// Served container names must be unique; two args with the same
 			// base name (x/c.ipcs y/c.ipcs) are disambiguated with a suffix
-			// rather than refused — dataset names still decide whether the
-			// combination is servable at all.
+			// rather than refused — except in cluster mode, where every node
+			// must compute the same name for the same container or their
+			// placements disagree.
 			serveName := name
-			for i := 2; used[serveName]; i++ {
-				serveName = fmt.Sprintf("%s-%d", name, i)
+			if clustered {
+				if used[serveName] {
+					return cleanup, fmt.Errorf("%s: container name %q repeats across arguments; cluster placement needs unique names", spec, name)
+				}
+			} else {
+				for i := 2; used[serveName]; i++ {
+					serveName = fmt.Sprintf("%s-%d", name, i)
+				}
 			}
 			used[serveName] = true
 			if serveName != name {
 				log.Printf("container %s from %s re-exported as %s (name already served)", name, spec, serveName)
 			}
-			if err := srv.AddStore(serveName, s); err != nil {
-				return fmt.Errorf("%s: %w", spec, err)
-			}
-			for _, ds := range s.Datasets() {
-				log.Printf("serving %s: shape %v %s eb %g (%d chunks, %d compressed bytes) from %s",
-					ds.Name, ds.Shape, ds.Scalar, ds.ErrorBound, ds.NumChunks, ds.CompressedBytes, spec)
+			if srv.Owns(serveName) {
+				s.SetCacheBytes(cacheMB << 20)
+				if err := srv.AddStore(serveName, s); err != nil {
+					return cleanup, fmt.Errorf("%s: %w", spec, err)
+				}
+				for _, ds := range s.Datasets() {
+					log.Printf("serving %s: shape %v %s eb %g (%d chunks, %d compressed bytes) from %s",
+						ds.Name, ds.Shape, ds.Scalar, ds.ErrorBound, ds.NumChunks, ds.CompressedBytes, spec)
+				}
+			} else {
+				etag, err := server.ContainerETag(s)
+				if err != nil {
+					return cleanup, fmt.Errorf("%s: %w", spec, err)
+				}
+				if err := srv.AddRemote(serveName, s.Size(), etag, s.Datasets()); err != nil {
+					return cleanup, fmt.Errorf("%s: %w", spec, err)
+				}
+				log.Printf("routing %s (%d datasets) to replicas %v", serveName, len(s.Datasets()), srv.Replicas(serveName))
 			}
 		}
 		if served == 0 {
-			return fmt.Errorf("%s: no servable containers", spec)
+			return cleanup, fmt.Errorf("%s: no servable containers", spec)
 		}
 	}
+	return cleanup, nil
+}
 
+func run(listen string, cacheMB, backendCacheMB, prefetchKB int64, cl clusterFlags, specs []string) error {
+	srv := server.New()
+	clustered := cl.self != ""
+	if clustered {
+		peers, err := parsePeers(cl.peers)
+		if err != nil {
+			return err
+		}
+		if err := srv.EnableCluster(server.ClusterOptions{
+			Self:         cl.self,
+			Peers:        peers,
+			Replication:  cl.replication,
+			VirtualNodes: cl.vnodes,
+		}); err != nil {
+			return err
+		}
+		log.Printf("cluster mode: self=%s peers=%d replication=%d", cl.self, len(peers), cl.replication)
+	}
+
+	// Listen before opening anything: /healthz answers (and peers'
+	// forwards fail fast with a clean connection error instead of a
+	// timeout) while backends open, and /readyz holds the load balancer
+	// off until every owned container has registered.
 	hs := &http.Server{
 		Addr:              listen,
 		Handler:           srv.Handler(),
@@ -149,6 +253,15 @@ func run(listen string, cacheMB, backendCacheMB, prefetchKB int64, specs []strin
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	log.Printf("ipcompd listening on %s", listen)
+
+	cleanup, err := register(srv, clustered, cacheMB, backendCacheMB, prefetchKB, specs)
+	defer cleanup()
+	if err != nil {
+		hs.Close()
+		return err
+	}
+	srv.SetReady()
+	log.Printf("ready")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,9 +1,11 @@
 package backend
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"path"
@@ -33,6 +35,7 @@ type HTTP struct {
 	base    *url.URL // dir mode: ends in "/"; single mode: the file URL
 	single  string   // non-empty selects single-container mode
 	hc      *http.Client
+	ctx     context.Context // base context for origin requests and backoff
 	sem     chan struct{}
 	retries int // total attempts per request
 	backoff time.Duration
@@ -74,6 +77,18 @@ func WithRetry(attempts int, backoff time.Duration) HTTPOption {
 	}
 }
 
+// WithBaseContext bounds every origin request and retry backoff by ctx.
+// The Backend read interface carries no per-call context, so this is the
+// seam a server uses to abandon in-flight retries at shutdown instead of
+// letting them sleep out their backoff ladders.
+func WithBaseContext(ctx context.Context) HTTPOption {
+	return func(h *HTTP) {
+		if ctx != nil {
+			h.ctx = ctx
+		}
+	}
+}
+
 // NewHTTP creates a backend for the given URL. A URL with an empty or "/"
 // path is treated as an ipcompd root and rewritten to its
 // /v1/containers/ listing; a URL ending in "/" addresses a directory of
@@ -93,6 +108,7 @@ func NewHTTP(rawurl string, opts ...HTTPOption) (*HTTP, error) {
 	h := &HTTP{
 		base:       u,
 		hc:         http.DefaultClient,
+		ctx:        context.Background(),
 		sem:        make(chan struct{}, 8),
 		retries:    3,
 		backoff:    50 * time.Millisecond,
@@ -166,10 +182,14 @@ func (h *HTTP) List() ([]string, error) {
 	}
 	u := strings.TrimSuffix(h.base.String(), "/")
 	var doc listDoc
-	err := h.withRetry(u, func() (bool, error) {
+	err := h.withRetry(h.ctx, u, func() (bool, error) {
 		h.sem <- struct{}{}
 		defer func() { <-h.sem }()
-		resp, err := h.hc.Get(u)
+		req, err := http.NewRequestWithContext(h.ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return false, err
+		}
+		resp, err := h.hc.Do(req)
 		if err != nil {
 			return true, err
 		}
@@ -255,10 +275,10 @@ func parseContentRange(cr string) (start, end, total int64, err error) {
 func (h *HTTP) probeSize(u string) (int64, string, error) {
 	var size int64
 	var validator string
-	err := h.withRetry(u, func() (bool, error) {
+	err := h.withRetry(h.ctx, u, func() (bool, error) {
 		h.sem <- struct{}{}
 		defer func() { <-h.sem }()
-		req, err := http.NewRequest(http.MethodGet, u, nil)
+		req, err := http.NewRequestWithContext(h.ctx, http.MethodGet, u, nil)
 		if err != nil {
 			return false, err
 		}
@@ -366,10 +386,10 @@ func (h *HTTP) fetch(name string, off int64, n int) ([]byte, error) {
 	validator := h.validators[name]
 	h.mu.Unlock()
 	buf := make([]byte, n)
-	err = h.withRetry(u, func() (bool, error) {
+	err = h.withRetry(h.ctx, u, func() (bool, error) {
 		h.sem <- struct{}{}
 		defer func() { <-h.sem }()
-		req, err := http.NewRequest(http.MethodGet, u, nil)
+		req, err := http.NewRequestWithContext(h.ctx, http.MethodGet, u, nil)
 		if err != nil {
 			return false, err
 		}
@@ -422,13 +442,17 @@ func (h *HTTP) fetch(name string, off int64, n int) ([]byte, error) {
 	return buf, nil
 }
 
-// withRetry runs op up to h.retries times, backing off exponentially
-// between attempts while op reports its failure as retryable.
-func (h *HTTP) withRetry(u string, op func() (retryable bool, err error)) error {
+// withRetry runs op up to h.retries times, backing off (with jitter)
+// between attempts while op reports its failure as retryable. The
+// backoff honors ctx so a caller that gave up does not pin a goroutine
+// through the whole retry ladder.
+func (h *HTTP) withRetry(ctx context.Context, u string, op func() (retryable bool, err error)) error {
 	var err error
 	for attempt := 0; attempt < h.retries; attempt++ {
-		if attempt > 0 && h.backoff > 0 {
-			time.Sleep(h.backoff << (attempt - 1))
+		if attempt > 0 {
+			if serr := SleepBackoff(ctx, attempt, h.backoff); serr != nil {
+				return fmt.Errorf("%w (retry abandoned: %v)", err, serr)
+			}
 		}
 		var retryable bool
 		retryable, err = op()
@@ -437,6 +461,32 @@ func (h *HTTP) withRetry(u string, op func() (retryable bool, err error)) error 
 		}
 	}
 	return fmt.Errorf("%w (after %d attempts)", err, h.retries)
+}
+
+// SleepBackoff sleeps the exponential backoff before retry number
+// attempt (1-based): base<<(attempt-1), plus up to 50% random jitter.
+// The jitter is what keeps a fleet whose shared peer just died from
+// retrying in lockstep and stampeding whoever survives. The sleep is cut
+// short (returning ctx.Err()) when ctx is done; base <= 0 sleeps not at
+// all. The cluster router shares this exact path for its failover
+// rounds, so every retry in the system backs off the same way.
+func SleepBackoff(ctx context.Context, attempt int, base time.Duration) error {
+	if base <= 0 {
+		return ctx.Err()
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := base << (attempt - 1)
+	d += rand.N(d/2 + 1)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // Counters reports origin-read instrumentation: bytes fetched over the

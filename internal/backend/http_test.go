@@ -2,6 +2,7 @@ package backend
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -154,6 +155,69 @@ func TestHTTPBackendRetry(t *testing.T) {
 	if _, err := h.ReadAt("c.ipcs", p, 0); err == nil ||
 		!strings.Contains(err.Error(), "attempts") {
 		t.Errorf("exhausted retries: %v", err)
+	}
+}
+
+// TestSleepBackoff pins the backoff contract the whole retry path (http
+// backend and cluster router) shares: exponential growth with bounded
+// jitter, and a done context cutting the sleep short immediately.
+func TestSleepBackoff(t *testing.T) {
+	for attempt, base := range map[int]time.Duration{1: time.Millisecond, 3: time.Millisecond} {
+		start := time.Now()
+		if err := SleepBackoff(context.Background(), attempt, base); err != nil {
+			t.Fatal(err)
+		}
+		min := base << (attempt - 1)
+		// Sleeps can overshoot under load, so only the lower edge is exact:
+		// at least the exponential floor for this attempt.
+		if got := time.Since(start); got < min {
+			t.Errorf("attempt %d slept %v, want >= %v", attempt, got, min)
+		}
+	}
+	// Zero base: no sleep, but a dead context still reports itself.
+	if err := SleepBackoff(context.Background(), 1, 0); err != nil {
+		t.Errorf("zero base: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := SleepBackoff(ctx, 4, time.Hour); err == nil {
+		t.Error("canceled context should abort the backoff")
+	}
+	if time.Since(start) > time.Second {
+		t.Error("canceled context still slept")
+	}
+}
+
+// TestHTTPBackendRetryHonorsContext pins the satellite fix: a canceled
+// base context abandons the backoff ladder instead of sleeping it out.
+func TestHTTPBackendRetryHonorsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "always down", http.StatusBadGateway)
+	}))
+	defer ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	h, err := NewHTTP(ts.URL+"/c.ipcs",
+		WithRetry(10, time.Hour), // would sleep ~hours without the fix
+		WithBaseContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := h.ReadAt("c.ipcs", make([]byte, 8), 0)
+		done <- err
+	}()
+	// Let the first attempt fail, then cancel mid-backoff.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("read against a dead origin succeeded?")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("retry kept sleeping after its context was canceled")
 	}
 }
 

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHealthEjectionAndProbe(t *testing.T) {
+	now := time.Unix(0, 0)
+	h := newHealthClock(3, time.Second, func() time.Time { return now })
+
+	if !h.Allow("p") || !h.Healthy("p") {
+		t.Fatal("unknown peer should be routable")
+	}
+	h.Failure("p")
+	h.Failure("p")
+	if !h.Allow("p") {
+		t.Fatal("two failures must not eject below threshold 3")
+	}
+	h.Failure("p")
+	if h.Allow("p") || h.Healthy("p") {
+		t.Fatal("third consecutive failure should eject")
+	}
+
+	// Cooldown elapses: exactly one probe gets through.
+	now = now.Add(time.Second)
+	if !h.Allow("p") {
+		t.Fatal("cooldown elapsed, probe should be allowed")
+	}
+	if h.Allow("p") {
+		t.Fatal("second caller should wait for the in-flight probe")
+	}
+
+	// Failed probe re-ejects immediately (no threshold accumulation).
+	h.Failure("p")
+	if h.Allow("p") {
+		t.Fatal("failed probe should re-eject")
+	}
+	now = now.Add(time.Second)
+	if !h.Allow("p") {
+		t.Fatal("second cooldown elapsed, probe should be allowed again")
+	}
+	h.Success("p")
+	if !h.Allow("p") || !h.Allow("p") || !h.Healthy("p") {
+		t.Fatal("successful probe should fully restore the peer")
+	}
+
+	snap := h.Snapshot()
+	if ph := snap["p"]; ph.Ejected || ph.Failures != 0 || ph.Ejections != 1 {
+		t.Errorf("snapshot = %+v, want closed breaker with 1 lifetime ejection", ph)
+	}
+}
+
+func TestHealthSuccessResetsCount(t *testing.T) {
+	h := NewHealth(3, time.Minute)
+	h.Failure("p")
+	h.Failure("p")
+	h.Success("p")
+	h.Failure("p")
+	h.Failure("p")
+	if !h.Healthy("p") {
+		t.Fatal("success between failures must reset the consecutive count")
+	}
+}
+
+func TestHealthConcurrent(t *testing.T) {
+	h := NewHealth(2, time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				h.Allow("p")
+				h.Failure("p")
+				h.Success("p")
+				h.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAcrossBuilds(t *testing.T) {
+	// Two rings built from the same membership in different input order
+	// must agree on every placement — that is what lets every node route
+	// without coordination.
+	a, err := New([]string{"n1", "n2", "n3"}, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New([]string{"n3", "n1", "n2"}, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("container-%d.ipcs", i)
+		ra, rb := a.Replicas(key), b.Replicas(key)
+		if len(ra) != 2 || len(rb) != 2 {
+			t.Fatalf("replicas(%q) = %v / %v, want 2 each", key, ra, rb)
+		}
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatalf("replica order differs for %q: %v vs %v", key, ra, rb)
+			}
+		}
+		if ra[0] == ra[1] {
+			t.Fatalf("replicas(%q) not distinct: %v", key, ra)
+		}
+	}
+}
+
+func TestRingSpread(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d", "e"}
+	r, err := New(nodes, 1, 0) // default vnodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const keys = 5000
+	for i := 0; i < keys; i++ {
+		counts[r.Primary(fmt.Sprintf("c%d", i))]++
+	}
+	for _, n := range nodes {
+		got := counts[n]
+		// Perfect balance is keys/5 = 1000; virtual nodes should keep every
+		// node within a loose factor-of-two envelope.
+		if got < keys/10 || got > keys*2/5 {
+			t.Errorf("node %s owns %d/%d primaries — placement badly skewed (%v)", n, got, keys, counts)
+		}
+	}
+}
+
+func TestRingReplicationClampAndOwns(t *testing.T) {
+	r, err := New([]string{"solo"}, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Replication() != 1 {
+		t.Errorf("replication = %d, want clamped 1", r.Replication())
+	}
+	if got := r.Replicas("x"); len(got) != 1 || got[0] != "solo" {
+		t.Errorf("replicas = %v", got)
+	}
+	if !r.Owns("solo", "x") || r.Owns("ghost", "x") {
+		t.Error("ownership wrong for single-node ring")
+	}
+}
+
+func TestRingMinimalDisruption(t *testing.T) {
+	// Consistent hashing's point: adding a node moves only ~1/N of the
+	// keyspace. Compare primaries between a 4-node and 5-node ring.
+	old, err := New([]string{"a", "b", "c", "d"}, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := New([]string{"a", "b", "c", "d", "e"}, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 2000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("c%d", i)
+		if old.Primary(key) != grown.Primary(key) {
+			moved++
+			if grown.Primary(key) != "e" {
+				t.Fatalf("key %q moved to %q, not the new node", key, grown.Primary(key))
+			}
+		}
+	}
+	// Expect ~1/5 moved; far more means the hash is not consistent.
+	if moved > keys*2/5 {
+		t.Errorf("%d/%d keys moved when adding one node to four", moved, keys)
+	}
+	if moved == 0 {
+		t.Error("no keys moved to the new node at all")
+	}
+}
+
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := New(nil, 1, 8); err == nil {
+		t.Error("empty membership accepted")
+	}
+	if _, err := New([]string{"a", "a"}, 1, 8); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	if _, err := New([]string{"a", ""}, 1, 8); err == nil {
+		t.Error("empty node name accepted")
+	}
+	if _, err := New([]string{"a"}, 0, 8); err == nil {
+		t.Error("replication 0 accepted")
+	}
+}

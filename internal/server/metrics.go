@@ -1,0 +1,71 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// handleMetrics serves GET /metrics in the Prometheus text exposition
+// format (version 0.0.4), promoting the same counters /v1/stats reports
+// as JSON: tile-cache and storage-backend counters, plus — in cluster
+// mode — per-peer forward/failover counters and breaker state. Written
+// by hand because the format is three lines per family and a client
+// dependency would be the only one in the module.
+func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	doc := srv.statsDoc()
+	var b strings.Builder
+
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	gauge("ipcomp_datasets", "Datasets served by this node (cluster mode: locally owned only).", int64(doc.Datasets))
+	gauge("ipcomp_containers", "Containers served by this node (cluster mode: locally owned only).", int64(doc.Containers))
+	ready := int64(0)
+	if srv.ready.Load() {
+		ready = 1
+	}
+	gauge("ipcomp_ready", "1 once every owned container registered (mirrors /readyz).", ready)
+
+	counter("ipcomp_tile_decodes_total", "Tiles decoded from compressed planes.", doc.TileDecodes)
+	counter("ipcomp_tile_refines_total", "Cached tiles refined in place to a tighter bound.", doc.TileRefines)
+	counter("ipcomp_tile_hits_total", "Region requests answered from already-decoded tiles.", doc.TileHits)
+	counter("ipcomp_backend_hits_total", "Backend reads served entirely from the span cache.", doc.BackendHits)
+	counter("ipcomp_backend_misses_total", "Backend reads needing at least one origin fetch.", doc.BackendMisses)
+	counter("ipcomp_backend_fetched_bytes_total", "Bytes demand-read from storage origins.", doc.BackendBytesFetched)
+	counter("ipcomp_backend_prefetched_bytes_total", "Bytes read speculatively by sequential readahead.", doc.BackendPrefetched)
+	counter("ipcomp_backend_coalesced_reads_total", "Reads that joined an identical in-flight origin fetch.", doc.BackendCoalesced)
+
+	if c := doc.Cluster; c != nil {
+		// Per-peer families share one HELP/TYPE header with a series per
+		// peer label, as the exposition format requires.
+		labeled := func(name, help, typ string, value func(ClusterPeerDoc) (int64, bool)) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+			for _, p := range c.Peers {
+				if v, ok := value(p); ok {
+					fmt.Fprintf(&b, "%s{peer=%q} %d\n", name, p.Name, v)
+				}
+			}
+		}
+		labeled("ipcomp_cluster_forwards_total", "Requests relayed from this peer's answer.", "counter",
+			func(p ClusterPeerDoc) (int64, bool) { return p.Forwards, !p.Self })
+		labeled("ipcomp_cluster_failovers_total", "Forward attempts that failed over past this peer.", "counter",
+			func(p ClusterPeerDoc) (int64, bool) { return p.Failovers, !p.Self })
+		labeled("ipcomp_cluster_peer_ejections_total", "Times this peer's breaker opened.", "counter",
+			func(p ClusterPeerDoc) (int64, bool) { return p.Ejections, !p.Self })
+		labeled("ipcomp_cluster_peer_healthy", "0 while this peer's breaker is open.", "gauge",
+			func(p ClusterPeerDoc) (int64, bool) {
+				if p.Ejected {
+					return 0, !p.Self
+				}
+				return 1, !p.Self
+			})
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String()))
+}

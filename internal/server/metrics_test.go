@@ -1,0 +1,91 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestMetricsSingleNode pins the Prometheus exposition of a plain node:
+// the core families are present with HELP/TYPE headers, cluster families
+// are absent, and decode work moves the counters.
+func TestMetricsSingleNode(t *testing.T) {
+	env := newTestEnv(t)
+	scrape := func() string {
+		resp, err := http.Get(env.ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+			t.Fatalf("metrics content type %q", ct)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	body := scrape()
+	for _, family := range []string{
+		"ipcomp_datasets", "ipcomp_containers", "ipcomp_ready",
+		"ipcomp_tile_decodes_total", "ipcomp_tile_refines_total", "ipcomp_tile_hits_total",
+		"ipcomp_backend_hits_total", "ipcomp_backend_misses_total",
+	} {
+		if !strings.Contains(body, "# TYPE "+family+" ") {
+			t.Errorf("metrics missing family %s", family)
+		}
+	}
+	if strings.Contains(body, "ipcomp_cluster_") {
+		t.Error("single-node metrics expose cluster families")
+	}
+	if !strings.Contains(body, "\nipcomp_tile_decodes_total 0\n") {
+		t.Errorf("fresh node should report zero decodes:\n%s", body)
+	}
+
+	// One region request decodes tiles; the counter must move.
+	resp, err := http.Get(env.ts.URL + "/v1/datasets/density/region?lo=0,0,0&hi=16,16,16&bound=" + formatFloat(16*env.eb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if strings.Contains(scrape(), "\nipcomp_tile_decodes_total 0\n") {
+		t.Error("tile decode counter did not move after a region request")
+	}
+}
+
+// TestMetricsCluster pins the per-peer families: after a forwarded
+// request the forwarding node's scrape shows a labeled forwards counter
+// for the peer that answered, and never a series for itself.
+func TestMetricsCluster(t *testing.T) {
+	env := newClusterEnv(t, 4, 1, nil) // R=1 so a non-owner must forward
+	owner, stranger := env.ownerAndStranger(0)
+	resp, err := http.Get(stranger.ts.URL + "/v1/datasets/" + env.datasets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("forwarded metadata request: HTTP %d", resp.StatusCode)
+	}
+
+	mresp, err := http.Get(stranger.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	body := string(b)
+	if !strings.Contains(body, `ipcomp_cluster_forwards_total{peer="`+owner.name+`"} 1`) {
+		t.Errorf("forward to %s not counted:\n%s", owner.name, body)
+	}
+	if strings.Contains(body, `{peer="`+stranger.name+`"}`) {
+		t.Errorf("metrics expose a per-peer series for self:\n%s", body)
+	}
+	if !strings.Contains(body, `ipcomp_cluster_peer_healthy{peer="`+owner.name+`"} 1`) {
+		t.Errorf("healthy peer gauge missing:\n%s", body)
+	}
+}

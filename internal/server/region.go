@@ -26,8 +26,17 @@ import (
 //     decodes anything.
 func (srv *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	ds, ok := srv.datasets[name]
+	ds, ok := srv.lookup(name)
 	if !ok {
+		// In cluster mode a dataset this node does not own is forwarded to
+		// an owning replica — parameter validation included: the owner has
+		// the dataset's shape, this node only has catalog metadata.
+		if srv.cluster != nil {
+			if rd, remote := srv.cluster.remoteDataset(name); remote {
+				srv.cluster.forward(w, r, rd.container)
+				return
+			}
+		}
 		srv.errNotFound(w, name)
 		return
 	}

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/backend"
@@ -29,11 +31,17 @@ import (
 // http+cached backend and serves the same datasets, forwarding compressed
 // plane spans without decoding and answering warm traffic from its span
 // cache.
+// In cluster mode (EnableCluster) the server additionally routes
+// requests for containers owned by peers; see cluster.go.
 type Server struct {
+	mu             sync.RWMutex // guards the four registration maps/slices
 	datasets       map[string]*dataset
 	order          []string
 	containers     map[string]*servedContainer
 	containerOrder []string
+
+	ready   atomic.Bool   // flipped by SetReady once registration is done
+	cluster *clusterState // nil outside cluster mode
 }
 
 // dataset routes one dataset name to its backing store.
@@ -78,6 +86,12 @@ func containerETag(s *store.Store) (string, error) {
 	return fmt.Sprintf(`"%016x"`, h.Sum64()), nil
 }
 
+// ContainerETag exposes the container freshness validator to callers
+// that register peer-owned containers (AddRemote wants the same ETag the
+// owning node will serve, so a cluster-wide /v1/containers listing is
+// consistent no matter which node answers it).
+func ContainerETag(s *store.Store) (string, error) { return containerETag(s) }
+
 // AddStore registers an open container under the given name (its file
 // base name or backend container name), serving every dataset it holds.
 // It fails if the container name or a dataset name is already served
@@ -85,8 +99,15 @@ func containerETag(s *store.Store) (string, error) {
 // registered, so a caller that continues past the error serves exactly
 // what it served before.
 func (srv *Server) AddStore(name string, s *store.Store) error {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
 	if _, ok := srv.containers[name]; ok {
 		return fmt.Errorf("server: container %q already served", name)
+	}
+	if srv.cluster != nil {
+		if _, ok := srv.cluster.remoteContainer(name); ok {
+			return fmt.Errorf("server: container %q already registered as peer-owned", name)
+		}
 	}
 	infos := s.Datasets()
 	batch := make(map[string]bool, len(infos))
@@ -94,13 +115,21 @@ func (srv *Server) AddStore(name string, s *store.Store) error {
 		if _, ok := srv.datasets[info.Name]; ok {
 			return fmt.Errorf("server: dataset %q already served by an earlier container", info.Name)
 		}
+		if srv.cluster != nil {
+			if rd, ok := srv.cluster.remoteDataset(info.Name); ok {
+				return fmt.Errorf("server: dataset %q already registered from peer container %q", info.Name, rd.container)
+			}
+		}
 		if batch[info.Name] {
 			return fmt.Errorf("server: container names dataset %q twice", info.Name)
 		}
 		batch[info.Name] = true
 	}
 	// The validator read happens before anything registers, so a failure
-	// leaves the server serving exactly what it served before.
+	// leaves the server serving exactly what it served before. In cluster
+	// mode this read doubles as the readiness probe of an owned container:
+	// a node cannot register (and so cannot report ready) a container
+	// whose backend does not answer.
 	etag, err := containerETag(s)
 	if err != nil {
 		return err
@@ -114,20 +143,52 @@ func (srv *Server) AddStore(name string, s *store.Store) error {
 	return nil
 }
 
+// SetReady marks registration complete: every owned container was added
+// (each add probes its backend) and /readyz may start answering 200. A
+// server that never calls it stays not-ready, which is what a rolling
+// restart needs — the load balancer keeps traffic away until the node
+// has actually opened everything it owns, while /healthz (pure liveness)
+// answers the whole time.
+func (srv *Server) SetReady() { srv.ready.Store(true) }
+
+// lookup resolves a locally-served dataset.
+func (srv *Server) lookup(name string) (*dataset, bool) {
+	srv.mu.RLock()
+	defer srv.mu.RUnlock()
+	ds, ok := srv.datasets[name]
+	return ds, ok
+}
+
+// lookupContainer resolves a locally-served container.
+func (srv *Server) lookupContainer(name string) (*servedContainer, bool) {
+	srv.mu.RLock()
+	defer srv.mu.RUnlock()
+	c, ok := srv.containers[name]
+	return c, ok
+}
+
 // Handler returns the HTTP API (see docs/PROTOCOL.md):
 //
 //	GET /healthz                     liveness
+//	GET /readyz                      readiness (503 until SetReady)
+//	GET /metrics                     Prometheus text exposition
 //	GET /v1/stats                    tile cache + backend counters
 //	GET /v1/datasets                 list datasets
 //	GET /v1/datasets/{name}          one dataset's metadata
 //	GET /v1/datasets/{name}/region   progressive region retrieval
 //	GET /v1/containers               list served containers (name, size)
 //	GET /v1/containers/{name}        raw container bytes, Range-capable
+//
+// In cluster mode the dataset and container endpoints transparently
+// forward requests for peer-owned containers (see cluster.go); the
+// listing endpoints answer cluster-wide from the local catalog.
 func (srv *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /readyz", srv.handleReady)
+	mux.HandleFunc("GET /metrics", srv.handleMetrics)
 	mux.HandleFunc("GET /v1/stats", srv.handleStats)
 	mux.HandleFunc("GET /v1/datasets", srv.handleList)
 	mux.HandleFunc("GET /v1/datasets/{name}", srv.handleDataset)
@@ -135,6 +196,27 @@ func (srv *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/containers", srv.handleContainers)
 	mux.HandleFunc("GET /v1/containers/{name}", srv.handleContainer)
 	return mux
+}
+
+// handleReady answers readiness: 200 once SetReady ran, 503 before.
+// Distinct from /healthz so a rolling restart can keep a node out of
+// rotation while it is still opening the backends of the containers it
+// owns.
+func (srv *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	srv.mu.RLock()
+	containers := len(srv.containerOrder)
+	srv.mu.RUnlock()
+	if !srv.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":     "starting",
+			"containers": containers,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ready",
+		"containers": containers,
+	})
 }
 
 // ContainerDoc is the JSON document describing one served container —
@@ -146,22 +228,37 @@ type ContainerDoc struct {
 }
 
 func (srv *Server) handleContainers(w http.ResponseWriter, r *http.Request) {
+	srv.mu.RLock()
 	docs := make([]ContainerDoc, 0, len(srv.containerOrder))
 	for _, name := range srv.containerOrder {
 		c := srv.containers[name]
 		docs = append(docs, ContainerDoc{Name: name, Size: c.s.Size(), ETag: c.etag})
+	}
+	srv.mu.RUnlock()
+	if srv.cluster != nil {
+		_, remote := srv.cluster.remoteDocs()
+		docs = append(docs, remote...)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"containers": docs})
 }
 
 // handleContainer streams a container's raw bytes with full Range
 // support, turning this ipcompd into a storage backend for edge
-// instances (or any Range-capable client).
+// instances (or any Range-capable client). Peer-owned containers are
+// forwarded to an owning replica.
 func (srv *Server) handleContainer(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	c, ok := srv.containers[name]
+	c, ok := srv.lookupContainer(name)
 	if !ok {
+		if srv.cluster != nil {
+			if _, remote := srv.cluster.remoteContainer(name); remote {
+				srv.cluster.forward(w, r, name)
+				return
+			}
+		}
+		srv.mu.RLock()
 		have := append([]string(nil), srv.containerOrder...)
+		srv.mu.RUnlock()
 		sort.Strings(have)
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no container %q (have %s)", name, strings.Join(have, ", ")))
 		return
@@ -201,19 +298,23 @@ func docOf(info store.DatasetInfo) DatasetDoc {
 // summed across stores, plus the storage-backend byte-level counters for
 // stores opened through a counting backend (an edge proxy's span cache).
 type StatsDoc struct {
-	Datasets            int   `json:"datasets"`
-	Containers          int   `json:"containers"`
-	TileDecodes         int64 `json:"tile_decodes"`
-	TileRefines         int64 `json:"tile_refines"`
-	TileHits            int64 `json:"tile_hits"`
-	BackendHits         int64 `json:"backend_hits"`
-	BackendMisses       int64 `json:"backend_misses"`
-	BackendBytesFetched int64 `json:"backend_bytes_fetched"`
-	BackendPrefetched   int64 `json:"backend_prefetched_bytes"`
-	BackendCoalesced    int64 `json:"backend_coalesced_reads"`
+	Datasets            int         `json:"datasets"`
+	Containers          int         `json:"containers"`
+	TileDecodes         int64       `json:"tile_decodes"`
+	TileRefines         int64       `json:"tile_refines"`
+	TileHits            int64       `json:"tile_hits"`
+	BackendHits         int64       `json:"backend_hits"`
+	BackendMisses       int64       `json:"backend_misses"`
+	BackendBytesFetched int64       `json:"backend_bytes_fetched"`
+	BackendPrefetched   int64       `json:"backend_prefetched_bytes"`
+	BackendCoalesced    int64       `json:"backend_coalesced_reads"`
+	Cluster             *ClusterDoc `json:"cluster,omitempty"`
 }
 
-func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+// statsDoc gathers the counter snapshot handleStats and handleMetrics
+// share.
+func (srv *Server) statsDoc() StatsDoc {
+	srv.mu.RLock()
 	doc := StatsDoc{Datasets: len(srv.order), Containers: len(srv.containerOrder)}
 	// Stores opened on one shared backend (an edge serving every container
 	// of one origin) report the same backend-wide CounterSource; dedupe by
@@ -237,28 +338,57 @@ func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		doc.BackendPrefetched += c.Prefetched
 		doc.BackendCoalesced += c.Coalesced
 	}
-	writeJSON(w, http.StatusOK, doc)
+	srv.mu.RUnlock()
+	if srv.cluster != nil {
+		doc.Cluster = srv.cluster.doc()
+	}
+	return doc
+}
+
+func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, srv.statsDoc())
 }
 
 func (srv *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	srv.mu.RLock()
 	docs := make([]DatasetDoc, 0, len(srv.order))
 	for _, name := range srv.order {
 		docs = append(docs, docOf(srv.datasets[name].info))
+	}
+	srv.mu.RUnlock()
+	if srv.cluster != nil {
+		remote, _ := srv.cluster.remoteDocs()
+		docs = append(docs, remote...)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"datasets": docs})
 }
 
 func (srv *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
-	ds, ok := srv.datasets[r.PathValue("name")]
+	name := r.PathValue("name")
+	ds, ok := srv.lookup(name)
 	if !ok {
-		srv.errNotFound(w, r.PathValue("name"))
+		if srv.cluster != nil {
+			if rd, remote := srv.cluster.remoteDataset(name); remote {
+				srv.cluster.forward(w, r, rd.container)
+				return
+			}
+		}
+		srv.errNotFound(w, name)
 		return
 	}
 	writeJSON(w, http.StatusOK, docOf(ds.info))
 }
 
 func (srv *Server) errNotFound(w http.ResponseWriter, name string) {
+	srv.mu.RLock()
 	have := append([]string(nil), srv.order...)
+	srv.mu.RUnlock()
+	if srv.cluster != nil {
+		remote, _ := srv.cluster.remoteDocs()
+		for _, d := range remote {
+			have = append(have, d.Name)
+		}
+	}
 	sort.Strings(have)
 	writeError(w, http.StatusNotFound, fmt.Sprintf("no dataset %q (have %s)", name, strings.Join(have, ", ")))
 }

@@ -1,18 +1,19 @@
 #!/usr/bin/env bash
 # bench.sh — run the perf-tracked benchmark suites (Fig8 speed, the
 # float32-vs-float64 scalar pairs, chunked store, HTTP region serving,
-# storage backends file/mem/http-cold/http-warm/cached-proxy, bitplane
-# transpose, interp/quantize microbenchmarks) and emit a machine-readable
-# BENCH_5.json mapping benchmark name to ns/op, B/op and allocs/op, so
+# cluster routing local/forwarded/failover, storage backends
+# file/mem/http-cold/http-warm/cached-proxy, bitplane transpose,
+# interp/quantize microbenchmarks) and emit a machine-readable
+# BENCH_6.json mapping benchmark name to ns/op, B/op and allocs/op, so
 # the repo's perf trajectory is recorded per PR.
 #
-#   ./scripts/bench.sh                    # full run, writes BENCH_5.json
+#   ./scripts/bench.sh                    # full run, writes BENCH_6.json
 #   BENCHTIME=1x OUT=/dev/null ./scripts/bench.sh   # CI smoke: one iteration
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
-OUT="${OUT:-BENCH_5.json}"
+OUT="${OUT:-BENCH_6.json}"
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
@@ -23,7 +24,7 @@ run() { # run <package> <bench regex>
 
 run .               'BenchmarkFig8CompressIPComp$|BenchmarkFig8DecompressIPComp$|BenchmarkScalarCompress$|BenchmarkScalarDecompress$|BenchmarkScalarRoundTrip$|BenchmarkStorePack$|BenchmarkStorePackF32$|BenchmarkStoreRegion$|BenchmarkStoreExtract$|BenchmarkStoreExtractF32$|BenchmarkBitplaneSplit$|BenchmarkBitplaneSplitAlloc$|BenchmarkBitplaneMerge$'
 run ./internal/interp 'BenchmarkInterpPass$|BenchmarkVisitLevelShim$'
-run ./internal/server 'BenchmarkServerRegion$'
+run ./internal/server 'BenchmarkServerRegion$|BenchmarkClusterRegionLocal$|BenchmarkClusterRegionForwarded$|BenchmarkClusterRegionFailover$'
 run ./internal/core   'BenchmarkQuantizeLevel$'
 run ./internal/backend 'BenchmarkBackendMem$|BenchmarkBackendFile$|BenchmarkBackendHTTPCold$|BenchmarkBackendHTTPWarm$|BenchmarkBackendCachedProxy$'
 
