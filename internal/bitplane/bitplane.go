@@ -52,6 +52,11 @@ func SplitInto(planes [][]byte, values []uint32) {
 // SplitRange transposes the value range [lo, hi) into the planes' byte
 // range [lo/8, ceil(hi/8)). lo must be a multiple of 8. Disjoint 8-aligned
 // ranges touch disjoint plane bytes, so shards may run concurrently.
+//
+// On amd64 with AVX2 (and without the purego build tag) the bulk of the
+// range runs through the vector kernel in transpose_amd64.s; the scalar
+// loop below is the reference implementation, handles the tail, and is the
+// only path everywhere else. Both orders produce identical plane bytes.
 func SplitRange(planes [][]byte, values []uint32, lo, hi int) {
 	if lo&7 != 0 {
 		panic("bitplane: SplitRange start must be 8-aligned")
@@ -59,6 +64,15 @@ func SplitRange(planes [][]byte, values []uint32, lo, hi int) {
 	if hi > len(values) {
 		hi = len(values)
 	}
+	if lo < hi {
+		lo = splitRangeAccel(planes, values, lo, hi)
+	}
+	splitRangeGeneric(planes, values, lo, hi)
+}
+
+// splitRangeGeneric is the portable word-at-a-time transpose: one
+// transpose8 butterfly per byte-block of eight values.
+func splitRangeGeneric(planes [][]byte, values []uint32, lo, hi int) {
 	var vv [8]uint32
 	for base := lo; base < hi; base += 8 {
 		g := base >> 3
@@ -111,6 +125,10 @@ func MergeInto(out []uint32, planes [][]byte) {
 
 // MergeRange reassembles the value range [lo, hi) only. lo must be a
 // multiple of 8; disjoint 8-aligned ranges may run concurrently.
+//
+// Like SplitRange this dispatches the bulk of the range to the AVX2 kernel
+// when one is compiled in; the scalar loop is the reference implementation
+// and the tail/fallback path.
 func MergeRange(out []uint32, planes [][]byte, lo, hi int) {
 	if lo&7 != 0 {
 		panic("bitplane: MergeRange start must be 8-aligned")
@@ -118,6 +136,13 @@ func MergeRange(out []uint32, planes [][]byte, lo, hi int) {
 	if hi > len(out) {
 		hi = len(out)
 	}
+	if lo < hi {
+		lo = mergeRangeAccel(out, planes, lo, hi)
+	}
+	mergeRangeGeneric(out, planes, lo, hi)
+}
+
+func mergeRangeGeneric(out []uint32, planes [][]byte, lo, hi int) {
 	np := len(planes)
 	if np > Planes {
 		np = Planes

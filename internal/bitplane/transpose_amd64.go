@@ -1,0 +1,76 @@
+//go:build amd64 && !purego
+
+package bitplane
+
+import (
+	"unsafe"
+
+	"repro/internal/cpu"
+)
+
+// useAVX2 gates the vector transpose kernels. It starts at whatever the
+// CPUID probe found and can be forced by SetAVX2 in tests.
+var useAVX2 = cpu.X86.HasAVX2
+
+// SetAVX2 forces the AVX2 transpose kernels on or off and reports whether
+// they are active afterwards. Enabling is a no-op on hardware without AVX2,
+// and under the purego build tag this always reports false. Tests use it to
+// run the same suite through both paths; toggling concurrently with
+// Split/Merge calls is not safe.
+func SetAVX2(on bool) bool {
+	useAVX2 = on && cpu.X86.HasAVX2
+	return useAVX2
+}
+
+// splitAVX2 transposes iters×32 values starting at values into the plane
+// byte arrays: per iteration it writes 4 bytes at the current group offset
+// into each of the 32 planes. Implemented in transpose_amd64.s.
+//
+//go:noescape
+func splitAVX2(planes *[Planes]unsafe.Pointer, values *uint32, iters int)
+
+// mergeAVX2 is the inverse: it rebuilds iters×32 values from plane bytes.
+// Nil plane pointers contribute zero bits; blocks is a bitmask of plane
+// octets (bit b = planes 8b..8b+7) that contain at least one loaded plane —
+// octets with a clear bit are skipped entirely. Implemented in
+// transpose_amd64.s.
+//
+//go:noescape
+func mergeAVX2(planes *[Planes]unsafe.Pointer, out *uint32, iters int, blocks uint8)
+
+// splitRangeAccel runs the vector kernel over the longest 32-value-aligned
+// prefix of [lo, hi) and returns the new lo for the scalar tail.
+func splitRangeAccel(planes [][]byte, values []uint32, lo, hi int) int {
+	n32 := (hi - lo) &^ 31
+	if !useAVX2 || n32 == 0 || len(planes) < Planes {
+		return lo
+	}
+	var ptrs [Planes]unsafe.Pointer
+	for p := 0; p < Planes; p++ {
+		ptrs[p] = unsafe.Pointer(&planes[p][lo>>3])
+	}
+	splitAVX2(&ptrs, &values[lo], n32>>5)
+	return lo + n32
+}
+
+// mergeRangeAccel mirrors splitRangeAccel for MergeRange.
+func mergeRangeAccel(out []uint32, planes [][]byte, lo, hi int) int {
+	n32 := (hi - lo) &^ 31
+	if !useAVX2 || n32 == 0 {
+		return lo
+	}
+	np := len(planes)
+	if np > Planes {
+		np = Planes
+	}
+	var ptrs [Planes]unsafe.Pointer
+	var blocks uint8
+	for p := 0; p < np; p++ {
+		if planes[p] != nil {
+			ptrs[p] = unsafe.Pointer(&planes[p][lo>>3])
+			blocks |= 1 << uint(p>>3)
+		}
+	}
+	mergeAVX2(&ptrs, &out[lo], n32>>5, blocks)
+	return lo + n32
+}

@@ -1,0 +1,12 @@
+//go:build !amd64 || purego
+
+package bitplane
+
+// SetAVX2 is the stub for builds without vector kernels (non-amd64 targets
+// and the purego build tag): there is nothing to enable, so it always
+// reports false.
+func SetAVX2(on bool) bool { return false }
+
+func splitRangeAccel(planes [][]byte, values []uint32, lo, hi int) int { return lo }
+
+func mergeRangeAccel(out []uint32, planes [][]byte, lo, hi int) int { return lo }

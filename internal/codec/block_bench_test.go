@@ -1,0 +1,50 @@
+package codec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchPlane builds a 32 KiB plane (one bitplane of a 256Ki-value level)
+// with the character the sub-benchmark targets.
+func benchPlane(kind string) []byte {
+	const n = 32 << 10
+	rng := rand.New(rand.NewSource(7))
+	p := make([]byte, n)
+	switch kind {
+	case "deflate":
+		// Mid-entropy, compressible: few distinct symbols, local repetition
+		// — the shape of a mid bitplane after prefix prediction.
+		for i := range p {
+			p[i] = byte(rng.Intn(8)) << uint(rng.Intn(2))
+		}
+	case "raw":
+		// High-entropy: incompressible noise, the shape of deep bitplanes.
+		rng.Read(p)
+	case "rle":
+		// Sparse: long zero runs with occasional set bytes, the shape of
+		// top bitplanes near the progressive threshold.
+		for i := 0; i < n; i += 97 {
+			p[i] = byte(1 + rng.Intn(255))
+		}
+	}
+	return p
+}
+
+// BenchmarkCodecEncodeBlock measures the Auto policy on the three plane
+// shapes it routes between; the deflate case costs the same as legacy,
+// raw and rle show the skip-DEFLATE win.
+func BenchmarkCodecEncodeBlock(b *testing.B) {
+	for _, kind := range []string{"deflate", "raw", "rle"} {
+		p := benchPlane(kind)
+		b.Run(kind, func(b *testing.B) {
+			b.SetBytes(int64(len(p)))
+			for i := 0; i < b.N; i++ {
+				blk := EncodeBlockPolicy(p, PolicyAuto)
+				if len(blk) == 0 {
+					b.Fatal("empty block")
+				}
+			}
+		})
+	}
+}

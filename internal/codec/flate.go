@@ -89,60 +89,5 @@ func Inflate(src []byte, dstSize int) ([]byte, error) {
 	return dst, nil
 }
 
-// Block wraps a payload with a 1-byte method tag so the cheaper of
-// raw/deflate storage is chosen per block. This mirrors what real
-// compressors do for incompressible bitplanes (e.g. the sign-noise LSBs).
-const (
-	methodRaw     = 0
-	methodDeflate = 1
-	methodZero    = 2
-)
-
-// EncodeBlock stores src in whichever of zero/raw/DEFLATE form is smaller.
-// All-zero payloads (empty bitplanes) collapse to a single tag byte. The
-// compressed stream is produced directly behind its tag byte, so choosing
-// DEFLATE costs a single allocation.
-func EncodeBlock(src []byte) []byte {
-	zero := true
-	for _, b := range src {
-		if b != 0 {
-			zero = false
-			break
-		}
-	}
-	if zero {
-		return []byte{methodZero}
-	}
-	var buf bytes.Buffer
-	buf.WriteByte(methodDeflate)
-	deflateInto(&buf, src)
-	if buf.Len() < 1+len(src) {
-		return buf.Bytes()
-	}
-	out := make([]byte, 1+len(src))
-	out[0] = methodRaw
-	copy(out[1:], src)
-	return out
-}
-
-// DecodeBlock inverts EncodeBlock; dstSize is the expected payload size.
-func DecodeBlock(blk []byte, dstSize int) ([]byte, error) {
-	if len(blk) == 0 {
-		return nil, fmt.Errorf("codec: empty block")
-	}
-	switch blk[0] {
-	case methodRaw:
-		if len(blk)-1 != dstSize {
-			return nil, fmt.Errorf("codec: raw block size %d, want %d", len(blk)-1, dstSize)
-		}
-		out := make([]byte, dstSize)
-		copy(out, blk[1:])
-		return out, nil
-	case methodDeflate:
-		return Inflate(blk[1:], dstSize)
-	case methodZero:
-		return make([]byte, dstSize), nil
-	default:
-		return nil, fmt.Errorf("codec: unknown block method %d", blk[0])
-	}
-}
+// Block coding — the per-plane method tag, the encode policies, and the
+// per-method byte counters — lives in block.go.

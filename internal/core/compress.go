@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/bitplane"
 	"repro/internal/codec"
@@ -30,6 +31,9 @@ func Compress[T grid.Scalar](g *grid.Grid[T], opt Options) ([]byte, error) {
 	if opt.Interpolation != interp.Linear && opt.Interpolation != interp.Cubic {
 		return nil, fmt.Errorf("core: unknown interpolation kind %d", opt.Interpolation)
 	}
+	if !opt.Codec.Encodable() {
+		return nil, fmt.Errorf("core: codec policy %v cannot encode", opt.Codec)
+	}
 	threshold := opt.ProgressiveThreshold
 	if threshold <= 0 {
 		threshold = DefaultProgressiveThreshold
@@ -49,6 +53,7 @@ func Compress[T grid.Scalar](g *grid.Grid[T], opt Options) ([]byte, error) {
 		eb:     opt.ErrorBound,
 		levels: L,
 		meta:   make([]levelMeta, L),
+		cpol:   opt.Codec,
 	}
 
 	// Work on a copy: compression simulates decompression in place so that
@@ -165,7 +170,7 @@ func Compress[T grid.Scalar](g *grid.Grid[T], opt Options) ([]byte, error) {
 		// Blocks are independent after predictive coding; DEFLATE them
 		// concurrently (bit-identical to the serial order).
 		ParallelFor(used, func(p int) {
-			blocks[l][p] = codec.EncodeBlock(planes[p])
+			blocks[l][p] = codec.EncodeBlockPolicy(planes[p], opt.Codec)
 		})
 		for p := 0; p < used; p++ {
 			m.blockSizes[p] = uint32(len(blocks[l][p]))
@@ -189,9 +194,19 @@ func Compress[T grid.Scalar](g *grid.Grid[T], opt Options) ([]byte, error) {
 
 // exactMaxDrop computes maxDrop[d] = max_i |k_i - decode(truncate(nb_i, d))|
 // for d = 0..used. This is the per-level ‖δy‖∞ table (in quantization-step
-// units) that the retrieval optimizer consumes. The scan is O(used·n) and
-// embarrassingly parallel, so it is chunked across cores; per-chunk maxima
-// merge with max, which is order-independent.
+// units) that the retrieval optimizer consumes.
+//
+// Negabinary decode is positional — decode(u) = Σ_j u_j·(−2)^j — so the
+// truncation loss at depth d is just the partial sum of the dropped digits:
+// k − decode(truncate(u, d)) = Σ_{j<d} u_j·(−2)^j. Each value therefore
+// contributes with one add per *set-digit depth* instead of a full
+// decode per depth: build diff incrementally up to the value's top digit,
+// past which the loss is constant at k and folds into a running tail
+// maximum. That turns the O(used·n) scan into O(n·avg-digit-length) — the
+// indices cluster near zero, so most values finish in a few digits — while
+// producing exactly the same maxima (the table is serialized, and the
+// golden digests pin it). Chunked across cores; per-chunk maxima merge
+// with max, which is order-independent.
 func exactMaxDrop(ks []int32, nbv []uint32, used int) []uint32 {
 	maxDrop := make([]uint32, used+1)
 	if used == 0 || len(nbv) == 0 {
@@ -203,18 +218,55 @@ func exactMaxDrop(ks []int32, nbv []uint32, used int) []uint32 {
 		lo := c * per
 		hi := min(lo+per, len(nbv))
 		local := &partial[c]
+		// pend[d] collects |k| of values whose digits end before depth d;
+		// the post-pass spreads it to every deeper depth as a running max.
+		var pend [bitplane.Planes + 2]uint32
+		// The vector kernel covers the aligned bulk of the chunk with the
+		// same local/pend contract; the scalar loop picks up at the tail.
+		if n4 := (hi - lo) &^ 3; maxDropAccel(nbv, lo, n4, used, local, &pend) {
+			lo += n4
+		}
 		for i := lo; i < hi; i++ {
-			k := int64(ks[i])
 			u := nbv[i]
-			for d := 1; d <= used; d++ {
-				t := int64(nb.Decode32(nb.Truncate(u, d)))
-				diff := k - t
-				if diff < 0 {
-					diff = -diff
+			if u == 0 {
+				continue // k == 0: zero loss at every depth
+			}
+			dEnd := bits.Len32(u) // one past the top set digit
+			if dEnd > used {
+				dEnd = used
+			}
+			// Branchless digit loop: the digits are effectively random, so a
+			// conditional add mispredicts constantly; masking w by the digit
+			// and folding |·| through a sign mask keeps the pipeline full.
+			var diff int64
+			w := int64(1) // (−2)^d
+			for d := 1; d <= dEnd; d++ {
+				diff += w & -int64(u&1)
+				u >>= 1
+				w *= -2
+				s := diff >> 63
+				a := uint32((diff ^ s) - s)
+				if a > local[d] {
+					local[d] = a
 				}
-				if uint32(diff) > local[d] {
-					local[d] = uint32(diff)
+			}
+			if dEnd < used {
+				k := ks[i]
+				if k < 0 {
+					k = -k
 				}
+				if uint32(k) > pend[dEnd+1] {
+					pend[dEnd+1] = uint32(k)
+				}
+			}
+		}
+		run := uint32(0)
+		for d := 1; d <= used; d++ {
+			if pend[d] > run {
+				run = pend[d]
+			}
+			if run > local[d] {
+				local[d] = run
 			}
 		}
 	})

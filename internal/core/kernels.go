@@ -98,37 +98,54 @@ func (e *levelQuantizer[T]) quantizeRange(p *interp.Pass, kind interp.Kind, tLo,
 	step, invStep, eb := e.step, e.invStep, e.eb
 	p.VisitRuns(kind, tLo, tHi, func(r *interp.Run) {
 		f, seq, fstep := r.Flat, r.Seq, r.Step
-		for n := r.N; n > 0; n-- {
-			// Predict inlines (it is a small switch on the run's Mode, a
-			// loop-invariant and thus perfectly predicted branch), and the
-			// quantize-reconstruct arithmetic below is the exact expression
-			// sequence of quant.QuantizeReconstruct (pinned by the kernel
-			// spec test), inlined because the call does not. The residual
-			// scales in T and widens — exactly — for the window test, so
-			// math.Round of an in-window value can never produce an index
-			// outside the negabinary window; the bound is checked in
-			// float64 against the value as stored in T, so float32
-			// rounding can only escape to the outlier path, never break
-			// the guarantee.
-			pred := interp.Predict(r, w, f)
-			orig := w[f]
-			qf := float64((orig - pred) * invStep)
-			if qf >= -nb.MaxIndex && qf <= nb.MaxIndex {
-				k := int32(math.Round(qf))
-				recon := pred + T(k)*step
-				if d := float64(recon) - float64(orig); d <= eb && d >= -eb {
-					ks[seq] = k
-					w[f] = recon
-					seq++
-					f += fstep
-					continue
-				}
+		remaining := r.N
+		for remaining > 0 {
+			// The vector kernel commits whole groups until one trips the
+			// window or bound guard; the scalar loop below then absorbs a
+			// short span (which owns the outlier protocol) before retrying.
+			if done := quantizeRunAccel(w, ks, r, f, seq, remaining, step, invStep, eb); done > 0 {
+				f += done * fstep
+				seq += done
+				remaining -= done
+				continue
 			}
-			acc.idx = append(acc.idx, uint32(seq))
-			acc.val = append(acc.val, float64(orig))
-			ks[seq] = 0
-			seq++
-			f += fstep
+			g := remaining
+			if asmKernels && g > 8 {
+				g = 8
+			}
+			remaining -= g
+			for n := g; n > 0; n-- {
+				// Predict inlines (it is a small switch on the run's Mode, a
+				// loop-invariant and thus perfectly predicted branch), and the
+				// quantize-reconstruct arithmetic below is the exact expression
+				// sequence of quant.QuantizeReconstruct (pinned by the kernel
+				// spec test), inlined because the call does not. The residual
+				// scales in T and widens — exactly — for the window test, so
+				// math.Round of an in-window value can never produce an index
+				// outside the negabinary window; the bound is checked in
+				// float64 against the value as stored in T, so float32
+				// rounding can only escape to the outlier path, never break
+				// the guarantee.
+				pred := interp.Predict(r, w, f)
+				orig := w[f]
+				qf := float64((orig - pred) * invStep)
+				if qf >= -nb.MaxIndex && qf <= nb.MaxIndex {
+					k := int32(math.Round(qf))
+					recon := pred + T(k)*step
+					if d := float64(recon) - float64(orig); d <= eb && d >= -eb {
+						ks[seq] = k
+						w[f] = recon
+						seq++
+						f += fstep
+						continue
+					}
+				}
+				acc.idx = append(acc.idx, uint32(seq))
+				acc.val = append(acc.val, float64(orig))
+				ks[seq] = 0
+				seq++
+				f += fstep
+			}
 		}
 	})
 }
@@ -156,15 +173,42 @@ func applyLevel[T grid.Scalar](a *Archive, data []T, l int, ks []int32) {
 			outIdx, outVal := m.outlierIdx, m.outlierVal
 			p.VisitRuns(kind, tLo, tHi, func(r *interp.Run) {
 				f, seq, fstep := r.Flat, r.Seq, r.Step
-				for n := r.N; n > 0; n-- {
-					v := interp.Predict(r, data, f) + T(ks[seq])*step
-					if oi < len(outIdx) && outIdx[oi] == uint32(seq) {
-						v = T(outVal[oi])
-						oi++
+				remaining := r.N
+				for remaining > 0 {
+					// The vector kernel takes the outlier-free span before
+					// the next stored exact value; the scalar loop absorbs
+					// the outlier point itself (and short tails).
+					if asmKernels {
+						free := remaining
+						if oi < len(outIdx) {
+							if until := int(outIdx[oi]) - seq; until < free {
+								free = until
+							}
+						}
+						if free >= 4 {
+							if done := applyRunAccel(data, ks, r, f, seq, free, step); done > 0 {
+								f += done * fstep
+								seq += done
+								remaining -= done
+								continue
+							}
+						}
 					}
-					data[f] = v
-					seq++
-					f += fstep
+					g := remaining
+					if asmKernels && g > 8 {
+						g = 8
+					}
+					remaining -= g
+					for n := g; n > 0; n-- {
+						v := interp.Predict(r, data, f) + T(ks[seq])*step
+						if oi < len(outIdx) && outIdx[oi] == uint32(seq) {
+							v = T(outVal[oi])
+							oi++
+						}
+						data[f] = v
+						seq++
+						f += fstep
+					}
 				}
 			})
 		})

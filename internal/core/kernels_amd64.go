@@ -1,0 +1,173 @@
+//go:build amd64 && !purego
+
+package core
+
+import (
+	"unsafe"
+
+	"repro/internal/cpu"
+	"repro/internal/grid"
+	"repro/internal/interp"
+)
+
+// asmKernels reports whether this build contains vector kernels at all;
+// useAVX2 is the runtime dispatch switch (CPUID probe, overridable in
+// tests). The generics in kernels.go consult both so that purego builds
+// compile the scalar loops with zero dispatch overhead.
+const asmKernels = true
+
+var useAVX2 = cpu.X86.HasAVX2
+
+// SetAVX2 forces the core vector kernels (fused predict+quantize,
+// dequantize+apply, negabinary drop scan) on or off and reports whether
+// they are active afterwards. It exists so tests and benchmarks can drive
+// both paths; it is not safe to toggle concurrently with Compress/Retrieve.
+func SetAVX2(on bool) bool {
+	useAVX2 = on && cpu.X86.HasAVX2
+	return useAVX2
+}
+
+// kernArgs is the argument block shared by the quantize and apply kernels
+// in kernels_amd64.s; a single pointer keeps the assembly prologues to one
+// field-offset scheme. All integer fields are 64-bit so offsets are
+// uniform. The apply kernels ignore invStep and eb.
+type kernArgs struct {
+	data    unsafe.Pointer // *float64 / *float32 work array
+	ks      unsafe.Pointer // *int32, pre-offset to the run's first seq
+	f       int64          // flat index of the first point
+	fstep   int64          // flat stride between points
+	n       int64          // points requested (kernels commit a multiple of the lane width)
+	off1    int64          // ±s neighbour offset
+	off3    int64          // ±3s neighbour offset (cubic only)
+	mode    int64          // interp.RunMode
+	step    float64        // quantizer step (narrowed in the f32 kernels)
+	invStep float64
+	eb      float64
+}
+
+// quantizeRunF64 commits points through the fused predict+quantize+bound
+// check pipeline four at a time, stopping at the first group with any lane
+// out of the negabinary window or error bound (the scalar path owns the
+// outlier protocol). Returns the number of points committed.
+//
+//go:noescape
+func quantizeRunF64(a *kernArgs) int64
+
+// quantizeRunF32 is the eight-lane single-precision variant. Residual and
+// reconstruction arithmetic runs in float32 exactly like the generic
+// kernel; only the error-bound check widens to float64.
+//
+//go:noescape
+func quantizeRunF32(a *kernArgs) int64
+
+// applyRunF64 reconstructs pred + k·step four points at a time. No bail
+// conditions: the wrapper only hands it outlier-free spans.
+//
+//go:noescape
+func applyRunF64(a *kernArgs) int64
+
+// applyRunF32 is the eight-lane single-precision variant.
+//
+//go:noescape
+func applyRunF32(a *kernArgs) int64
+
+// maxDropAVX2 runs the branchless negabinary partial-sum scan over
+// n (a multiple of 4) values. scratch points at 67 rows of 4 int64 lane
+// accumulators: rows 0..32 are per-depth |partial| maxima, rows 33..66 the
+// pending |k| maxima keyed by one past each group's top digit.
+//
+//go:noescape
+func maxDropAVX2(nbv *uint32, n, used int64, scratch *int64)
+
+// quantizeRunAccel hands a prefix of the run to the vector kernel and
+// returns how many points it committed (0 when inactive, when the first
+// group trips a guard, or when the run is too short to vectorize).
+func quantizeRunAccel[T grid.Scalar](w []T, ks []int32, r *interp.Run, f, seq, n int, step, invStep T, eb float64) int {
+	if !useAVX2 {
+		return 0
+	}
+	a := kernArgs{
+		ks:    unsafe.Pointer(&ks[seq]),
+		f:     int64(f),
+		fstep: int64(r.Step),
+		n:     int64(n),
+		off1:  int64(r.Off1),
+		off3:  int64(r.Off3),
+		mode:  int64(r.Mode),
+		step:  float64(step), invStep: float64(invStep), eb: eb,
+	}
+	switch wt := any(w).(type) {
+	case []float64:
+		if n < 4 {
+			return 0
+		}
+		a.data = unsafe.Pointer(&wt[0])
+		return int(quantizeRunF64(&a))
+	case []float32:
+		if n < 8 {
+			return 0
+		}
+		a.data = unsafe.Pointer(&wt[0])
+		return int(quantizeRunF32(&a))
+	}
+	return 0
+}
+
+// applyRunAccel reconstructs a prefix of the run (which the caller
+// guarantees is free of outlier positions) and returns the points done.
+func applyRunAccel[T grid.Scalar](data []T, ks []int32, r *interp.Run, f, seq, n int, step T) int {
+	if !useAVX2 {
+		return 0
+	}
+	a := kernArgs{
+		ks:    unsafe.Pointer(&ks[seq]),
+		f:     int64(f),
+		fstep: int64(r.Step),
+		n:     int64(n),
+		off1:  int64(r.Off1),
+		off3:  int64(r.Off3),
+		mode:  int64(r.Mode),
+		step:  float64(step),
+	}
+	switch dt := any(data).(type) {
+	case []float64:
+		if n < 4 {
+			return 0
+		}
+		a.data = unsafe.Pointer(&dt[0])
+		return int(applyRunF64(&a))
+	case []float32:
+		if n < 8 {
+			return 0
+		}
+		a.data = unsafe.Pointer(&dt[0])
+		return int(applyRunF32(&a))
+	}
+	return 0
+}
+
+// maxDropAccel scans nbv[lo:lo+n4] (n4 a multiple of 4) into local and
+// pend, exactly as the scalar loop in exactMaxDrop would, and reports
+// whether it ran.
+func maxDropAccel(nbv []uint32, lo, n4, used int, local *[33]uint32, pend *[34]uint32) bool {
+	if !useAVX2 || n4 < 8 {
+		return false
+	}
+	scratch := make([]int64, 67*4)
+	maxDropAVX2(&nbv[lo], int64(n4), int64(used), &scratch[0])
+	for d := 1; d <= used; d++ {
+		for _, v := range scratch[d*4 : d*4+4] {
+			if uint32(v) > local[d] {
+				local[d] = uint32(v)
+			}
+		}
+	}
+	for d := 0; d <= used+1 && d < 34; d++ {
+		for _, v := range scratch[(33+d)*4 : (33+d)*4+4] {
+			if uint32(v) > pend[d] {
+				pend[d] = uint32(v)
+			}
+		}
+	}
+	return true
+}

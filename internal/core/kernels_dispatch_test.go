@@ -1,0 +1,287 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/bitplane"
+	"repro/internal/interp"
+	"repro/internal/nb"
+)
+
+// vectorPath switches the core kernels onto the AVX2 path (skipping the
+// test when the host has none) or forces the generic path, and restores
+// the hardware default on cleanup.
+func vectorPath(t *testing.T, on bool) {
+	t.Helper()
+	if got := SetAVX2(on); on && !got {
+		t.Skip("AVX2 kernels unavailable on this host")
+	}
+	t.Cleanup(func() { SetAVX2(true) })
+}
+
+// TestQuantizeDispatchDifferential compresses the golden datasets (which
+// include outlier spikes, so the bail-to-scalar protocol is exercised at
+// group boundaries) down both kernel paths and requires byte-identical
+// archives for both scalar widths.
+func TestQuantizeDispatchDifferential(t *testing.T) {
+	if !SetAVX2(true) {
+		t.Skip("AVX2 kernels unavailable on this host")
+	}
+	t.Cleanup(func() { SetAVX2(true) })
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			opt := Options{ErrorBound: 1e-6, Interpolation: tc.kind}
+			g64 := goldenField(t, tc.shape)
+			SetAVX2(true)
+			asm64, err := Compress(g64, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			SetAVX2(false)
+			gen64, err := Compress(g64, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(asm64, gen64) {
+				t.Errorf("float64 archive differs between AVX2 and generic kernels (%d vs %d bytes)", len(asm64), len(gen64))
+			}
+
+			g32 := goldenField32(t, tc.shape)
+			SetAVX2(true)
+			asm32, err := Compress(g32, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			SetAVX2(false)
+			gen32, err := Compress(g32, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(asm32, gen32) {
+				t.Errorf("float32 archive differs between AVX2 and generic kernels (%d vs %d bytes)", len(asm32), len(gen32))
+			}
+		})
+	}
+}
+
+// TestApplyDispatchDifferential retrieves the same archive down both
+// kernel paths — full fidelity and a truncated progressive plan — and
+// requires bit-identical reconstructions (outlier overrides included).
+func TestApplyDispatchDifferential(t *testing.T) {
+	if !SetAVX2(true) {
+		t.Skip("AVX2 kernels unavailable on this host")
+	}
+	t.Cleanup(func() { SetAVX2(true) })
+	retrieve := func(t *testing.T, blob []byte, bound float64) []float64 {
+		t.Helper()
+		a, err := NewArchive(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res *Result
+		if bound > 0 {
+			res, err = a.RetrieveErrorBound(bound)
+		} else {
+			res, err = a.RetrieveAll()
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Data()
+	}
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			opt := Options{ErrorBound: 1e-6, Interpolation: tc.kind}
+			for _, width := range []string{"f64", "f32"} {
+				var blob []byte
+				var err error
+				if width == "f64" {
+					blob, err = Compress(goldenField(t, tc.shape), opt)
+				} else {
+					blob, err = Compress(goldenField32(t, tc.shape), opt)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, bound := range []float64{0, 1e-3} {
+					SetAVX2(true)
+					asm := retrieve(t, blob, bound)
+					SetAVX2(false)
+					gen := retrieve(t, blob, bound)
+					if len(asm) != len(gen) {
+						t.Fatalf("%s bound=%v: length mismatch", width, bound)
+					}
+					for i := range asm {
+						if asm[i] != gen[i] && !(math.IsNaN(asm[i]) && math.IsNaN(gen[i])) {
+							t.Fatalf("%s bound=%v: value %d differs: asm=%v generic=%v", width, bound, i, asm[i], gen[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMaxDropDispatchDifferential runs exactMaxDrop down both paths over
+// index distributions with mixed digit lengths (zeros, short runs, full
+// 31-digit values) and requires identical drop tables.
+func TestMaxDropDispatchDifferential(t *testing.T) {
+	if !SetAVX2(true) {
+		t.Skip("AVX2 kernels unavailable on this host")
+	}
+	t.Cleanup(func() { SetAVX2(true) })
+	rng := uint64(0x1234_5678_9ABC_DEF0)
+	next := func() uint64 {
+		rng += 0x9E3779B97F4A7C15
+		z := rng
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	for _, n := range []int{1, 3, 4, 5, 7, 8, 31, 64, 1000, 40000} {
+		ks := make([]int32, n)
+		nbv := make([]uint32, n)
+		for i := range ks {
+			r := next()
+			var k int32
+			switch r % 5 {
+			case 0: // zero
+			case 1:
+				k = int32(r>>40)%7 - 3 // tiny
+			case 2:
+				k = int32(uint32(r>>32) % 1000)
+			case 3:
+				k = -int32(uint32(r>>32) % (1 << 20))
+			default:
+				k = int32(uint32(r>>33)%(nb.MaxIndex)) - nb.MaxIndex/2
+			}
+			ks[i] = k
+			nbv[i] = nb.Encode32(k)
+		}
+		used := bitplane.NumUsedPlanes(nbv)
+		SetAVX2(true)
+		asm := exactMaxDrop(ks, nbv, used)
+		SetAVX2(false)
+		gen := exactMaxDrop(ks, nbv, used)
+		if len(asm) != len(gen) {
+			t.Fatalf("n=%d: table length mismatch %d vs %d", n, len(asm), len(gen))
+		}
+		for d := range asm {
+			if asm[d] != gen[d] {
+				t.Fatalf("n=%d depth %d: asm=%d generic=%d", n, d, asm[d], gen[d])
+			}
+		}
+	}
+}
+
+// TestQuantizeAccelCommits drives the vector quantize kernel directly on
+// an in-window run and pins that it commits the full aligned prefix — a
+// regression guard against the accel silently bailing every group, which
+// would pass every differential test while losing the speedup. Targets sit
+// at odd flat indices with predictions read from even ones, matching the
+// pass invariant that a run never predicts from its own writes.
+func TestQuantizeAccelCommits(t *testing.T) {
+	vectorPath(t, true)
+	const n = 20
+	step, invStep, eb := 2e-6, 5e5, 1e-6
+	w := make([]float64, 2*n+2)
+	for i := range w {
+		w[i] = math.Sin(float64(i) * 0.05)
+	}
+	want := append([]float64(nil), w...)
+	r := &interp.Run{Flat: 1, Step: 2, Seq: 0, N: n, Off1: 1, Mode: interp.RunCopyLeft}
+	ks := make([]int32, n)
+	done := quantizeRunAccel(w, ks, r, r.Flat, 0, n, step, invStep, eb)
+	if done != n {
+		t.Fatalf("quantizeRunAccel committed %d of %d points", done, n)
+	}
+	// Scalar emulation of the committed groups on the pristine copy.
+	wantKs := make([]int32, n)
+	for i := 0; i < n; i++ {
+		f := 1 + 2*i
+		pred := want[f-1]
+		orig := want[f]
+		k := int32(math.Round((orig - pred) * invStep))
+		recon := pred + float64(k)*step
+		if d := recon - orig; d > eb || d < -eb {
+			t.Fatalf("fixture point %d escapes the bound; tighten the test data", i)
+		}
+		wantKs[i] = k
+		want[f] = recon
+	}
+	for i := range ks {
+		if ks[i] != wantKs[i] {
+			t.Fatalf("ks[%d] = %d, scalar %d", i, ks[i], wantKs[i])
+		}
+	}
+	for f := range w {
+		if w[f] != want[f] {
+			t.Fatalf("work[%d] = %v, scalar %v", f, w[f], want[f])
+		}
+	}
+
+	// Apply kernel inverse: reconstruct from ks over a fresh array seeded
+	// with the same even-index context.
+	data := make([]float64, 2*n+2)
+	for i := 0; i < len(data); i += 2 {
+		data[i] = want[i]
+	}
+	adone := applyRunAccel(data, ks, r, r.Flat, 0, n, step)
+	if adone != n {
+		t.Fatalf("applyRunAccel committed %d of %d points", adone, n)
+	}
+	for f := 1; f < 2*n; f += 2 {
+		if data[f] != want[f] {
+			t.Fatalf("apply data[%d] = %v, want %v", f, data[f], want[f])
+		}
+	}
+
+	// Eight-lane float32 variants.
+	const n32 = 24
+	w32 := make([]float32, 2*n32+2)
+	for i := range w32 {
+		w32[i] = float32(math.Sin(float64(i) * 0.05))
+	}
+	want32 := append([]float32(nil), w32...)
+	r32 := &interp.Run{Flat: 1, Step: 2, Seq: 0, N: n32, Off1: 1, Mode: interp.RunCopyLeft}
+	ks32 := make([]int32, n32)
+	eb32 := 1e-3
+	step32, invStep32 := float32(2e-3), float32(5e2)
+	done32 := quantizeRunAccel(w32, ks32, r32, 1, 0, n32, step32, invStep32, eb32)
+	if done32 != n32 {
+		t.Fatalf("float32 quantizeRunAccel committed %d of %d points", done32, n32)
+	}
+	for i := 0; i < n32; i++ {
+		f := 1 + 2*i
+		pred := want32[f-1]
+		orig := want32[f]
+		k := int32(math.Round(float64((orig - pred) * invStep32)))
+		recon := pred + float32(k)*step32
+		if d := float64(recon) - float64(orig); d > eb32 || d < -eb32 {
+			t.Fatalf("float32 fixture point %d escapes the bound", i)
+		}
+		if ks32[i] != k {
+			t.Fatalf("float32 ks[%d] = %d, scalar %d", i, ks32[i], k)
+		}
+		want32[f] = recon
+	}
+	for f := range w32 {
+		if w32[f] != want32[f] {
+			t.Fatalf("float32 work[%d] = %v, scalar %v", f, w32[f], want32[f])
+		}
+	}
+	data32 := make([]float32, 2*n32+2)
+	for i := 0; i < len(data32); i += 2 {
+		data32[i] = want32[i]
+	}
+	if adone32 := applyRunAccel(data32, ks32, r32, 1, 0, n32, step32); adone32 != n32 {
+		t.Fatalf("float32 applyRunAccel committed %d of %d points", adone32, n32)
+	}
+	for f := 1; f < 2*n32; f += 2 {
+		if data32[f] != want32[f] {
+			t.Fatalf("float32 apply data[%d] = %v, want %v", f, data32[f], want32[f])
+		}
+	}
+}

@@ -1,0 +1,28 @@
+//go:build !amd64 || purego
+
+package core
+
+import (
+	"repro/internal/grid"
+	"repro/internal/interp"
+)
+
+// This build has no vector kernels: the generic loops in kernels.go are
+// the only path. asmKernels is a constant so the compiler deletes every
+// dispatch branch outright.
+const asmKernels = false
+
+// SetAVX2 reports false: there is nothing to enable.
+func SetAVX2(on bool) bool { return false }
+
+func quantizeRunAccel[T grid.Scalar](w []T, ks []int32, r *interp.Run, f, seq, n int, step, invStep T, eb float64) int {
+	return 0
+}
+
+func applyRunAccel[T grid.Scalar](data []T, ks []int32, r *interp.Run, f, seq, n int, step T) int {
+	return 0
+}
+
+func maxDropAccel(nbv []uint32, lo, n4, used int, local *[33]uint32, pend *[34]uint32) bool {
+	return false
+}

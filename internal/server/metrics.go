@@ -40,6 +40,16 @@ func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("ipcomp_backend_prefetched_bytes_total", "Bytes read speculatively by sequential readahead.", doc.BackendPrefetched)
 	counter("ipcomp_backend_coalesced_reads_total", "Reads that joined an identical in-flight origin fetch.", doc.BackendCoalesced)
 
+	if len(doc.Codec) > 0 {
+		// One family per direction with a series per block method, like the
+		// cluster per-peer families below.
+		fmt.Fprintf(&b, "# HELP ipcomp_codec_bytes Compressed bytes moved through each plane-block coding method.\n# TYPE ipcomp_codec_bytes counter\n")
+		for _, m := range doc.Codec {
+			fmt.Fprintf(&b, "ipcomp_codec_bytes{method=%q,op=\"encode\"} %d\n", m.Method, m.EncodedBytes)
+			fmt.Fprintf(&b, "ipcomp_codec_bytes{method=%q,op=\"decode\"} %d\n", m.Method, m.DecodedBytes)
+		}
+	}
+
 	if c := doc.Cluster; c != nil {
 		// Per-peer families share one HELP/TYPE header with a series per
 		// peer label, as the exposition format requires.

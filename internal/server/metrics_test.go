@@ -89,3 +89,46 @@ func TestMetricsCluster(t *testing.T) {
 		t.Errorf("healthy peer gauge missing:\n%s", body)
 	}
 }
+
+// TestMetricsCodecFamily pins the per-method codec byte family: after a
+// region request has decoded plane blocks, both the Prometheus exposition
+// and the /v1/stats JSON carry per-method compressed-byte counters.
+func TestMetricsCodecFamily(t *testing.T) {
+	env := newTestEnv(t)
+	resp, err := http.Get(env.ts.URL + "/v1/datasets/density/region?lo=0,0,0&hi=16,16,16&bound=" + formatFloat(16*env.eb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	resp, err = http.Get(env.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(b)
+	if !strings.Contains(body, "# TYPE ipcomp_codec_bytes counter") {
+		t.Errorf("metrics missing ipcomp_codec_bytes family:\n%s", body)
+	}
+	if !strings.Contains(body, `ipcomp_codec_bytes{method="deflate",op="decode"}`) {
+		t.Errorf("metrics missing deflate decode series:\n%s", body)
+	}
+
+	resp, err = http.Get(env.ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"codec"`) || !strings.Contains(string(b), `"deflate"`) {
+		t.Errorf("/v1/stats missing codec counters: %s", b)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/backend"
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/store"
 )
@@ -298,17 +299,21 @@ func docOf(info store.DatasetInfo) DatasetDoc {
 // summed across stores, plus the storage-backend byte-level counters for
 // stores opened through a counting backend (an edge proxy's span cache).
 type StatsDoc struct {
-	Datasets            int         `json:"datasets"`
-	Containers          int         `json:"containers"`
-	TileDecodes         int64       `json:"tile_decodes"`
-	TileRefines         int64       `json:"tile_refines"`
-	TileHits            int64       `json:"tile_hits"`
-	BackendHits         int64       `json:"backend_hits"`
-	BackendMisses       int64       `json:"backend_misses"`
-	BackendBytesFetched int64       `json:"backend_bytes_fetched"`
-	BackendPrefetched   int64       `json:"backend_prefetched_bytes"`
-	BackendCoalesced    int64       `json:"backend_coalesced_reads"`
-	Cluster             *ClusterDoc `json:"cluster,omitempty"`
+	Datasets            int   `json:"datasets"`
+	Containers          int   `json:"containers"`
+	TileDecodes         int64 `json:"tile_decodes"`
+	TileRefines         int64 `json:"tile_refines"`
+	TileHits            int64 `json:"tile_hits"`
+	BackendHits         int64 `json:"backend_hits"`
+	BackendMisses       int64 `json:"backend_misses"`
+	BackendBytesFetched int64 `json:"backend_bytes_fetched"`
+	BackendPrefetched   int64 `json:"backend_prefetched_bytes"`
+	BackendCoalesced    int64 `json:"backend_coalesced_reads"`
+	// Codec reports the process-wide compressed bytes moved through each
+	// block-coding method (DEFLATE, raw, zero, RLE, Huffman) while decoding
+	// plane blocks for requests; methods never touched are omitted.
+	Codec   []codec.MethodStat `json:"codec,omitempty"`
+	Cluster *ClusterDoc        `json:"cluster,omitempty"`
 }
 
 // statsDoc gathers the counter snapshot handleStats and handleMetrics
@@ -339,6 +344,7 @@ func (srv *Server) statsDoc() StatsDoc {
 		doc.BackendCoalesced += c.Coalesced
 	}
 	srv.mu.RUnlock()
+	doc.Codec = codec.Stats()
 	if srv.cluster != nil {
 		doc.Cluster = srv.cluster.doc()
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/interp"
@@ -21,6 +22,10 @@ type WriteOptions struct {
 	ChunkShape grid.Shape
 	// ProgressiveThreshold is passed through to core.Options.
 	ProgressiveThreshold int
+	// Codec is the block-coding policy every chunk is compressed under;
+	// the zero value (codec.PolicyDeflate) reproduces legacy containers
+	// byte for byte.
+	Codec codec.Policy
 }
 
 // Writer builds a container by streaming compressed chunks to an io.Writer
@@ -115,6 +120,7 @@ func Add[T grid.Scalar](w *Writer, name string, g *grid.Grid[T], opt WriteOption
 			ErrorBound:           opt.ErrorBound,
 			Interpolation:        opt.Interpolation,
 			ProgressiveThreshold: opt.ProgressiveThreshold,
+			Codec:                opt.Codec,
 		})
 		if err != nil {
 			return fmt.Errorf("store: dataset %q chunk %d: %w", name, i, err)

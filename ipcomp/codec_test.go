@@ -1,0 +1,100 @@
+package ipcomp_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/ipcomp"
+)
+
+// TestCodecOptionRoundTrip pins the codec plumbing through the facade:
+// the default policy reproduces the legacy bytes, CodecAuto decompresses
+// to the same guarantee, and the recorded policy round-trips through
+// Open when the encoder upgrades the format.
+func TestCodecOptionRoundTrip(t *testing.T) {
+	data, shape := density(t)
+	base := ipcomp.Options{ErrorBound: 1e-4}
+	legacy, err := ipcomp.Compress(data, shape, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit := base
+	explicit.Codec = ipcomp.CodecDeflate
+	same, err := ipcomp.Compress(data, shape, explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(legacy, same) {
+		t.Error("explicit CodecDeflate differs from the default encoding")
+	}
+
+	auto := base
+	auto.Codec = ipcomp.CodecAuto
+	blob, err := ipcomp.Compress(data, shape, auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Auto may trade a few bytes of v3 header overhead for block wins, so
+	// sizes are close but not ordered; only correctness and the recorded
+	// policy are pinned here.
+	out, _, err := ipcomp.Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := maxErr(data, out); got > 1e-4 {
+		t.Errorf("error %g over bound", got)
+	}
+	arch, err := ipcomp.Open(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch arch.FormatVersion() {
+	case 1:
+		if arch.Codec() != ipcomp.CodecDeflate {
+			t.Errorf("v1 archive reports codec %v", arch.Codec())
+		}
+	case 3:
+		if arch.Codec() != ipcomp.CodecAuto {
+			t.Errorf("v3 archive reports codec %v", arch.Codec())
+		}
+	default:
+		t.Errorf("unexpected format version %d", arch.FormatVersion())
+	}
+
+	if stats := ipcomp.CodecStats(); len(stats) == 0 {
+		t.Error("CodecStats empty after encoding archives")
+	}
+}
+
+// TestStoreCodecOption pins the container path: chunks packed under
+// CodecAuto retrieve within bound.
+func TestStoreCodecOption(t *testing.T) {
+	data, shape := density(t)
+	pack := func(c ipcomp.Codec) []byte {
+		var buf bytes.Buffer
+		sw, err := ipcomp.NewStoreWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := ipcomp.StoreOptions{ErrorBound: 1e-4, ChunkShape: []int{16, 16, 16}, Codec: c}
+		if err := sw.Add("density", data, shape, opt); err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	autob := pack(ipcomp.CodecAuto)
+	s, err := ipcomp.OpenStore(bytes.NewReader(autob), int64(len(autob)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.RetrieveDataset("density", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := maxErr(data, r.Data()); got > 1e-4 {
+		t.Errorf("error %g over bound", got)
+	}
+}

@@ -2,18 +2,23 @@
 # bench.sh — run the perf-tracked benchmark suites (Fig8 speed, the
 # float32-vs-float64 scalar pairs, chunked store, HTTP region serving,
 # cluster routing local/forwarded/failover, storage backends
-# file/mem/http-cold/http-warm/cached-proxy, bitplane transpose,
-# interp/quantize microbenchmarks) and emit a machine-readable
-# BENCH_6.json mapping benchmark name to ns/op, B/op and allocs/op, so
-# the repo's perf trajectory is recorded per PR.
+# file/mem/http-cold/http-warm/cached-proxy, bitplane transpose
+# asm-vs-generic, per-plane codec methods, interp/quantize
+# microbenchmarks) and emit a machine-readable BENCH_<N>.json mapping
+# benchmark name to ns/op, B/op and allocs/op, so the repo's perf
+# trajectory is recorded per PR. N is one past the highest existing
+# BENCH_<n>.json, so each PR's run lands in a fresh file.
 #
-#   ./scripts/bench.sh                    # full run, writes BENCH_6.json
+#   ./scripts/bench.sh                    # full run, writes the next BENCH_<N>.json
 #   BENCHTIME=1x OUT=/dev/null ./scripts/bench.sh   # CI smoke: one iteration
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
-OUT="${OUT:-BENCH_6.json}"
+if [ -z "${OUT:-}" ]; then
+  last=$(ls BENCH_*.json 2>/dev/null | sed -n 's/^BENCH_\([0-9]\+\)\.json$/\1/p' | sort -n | tail -1)
+  OUT="BENCH_$(( ${last:-0} + 1 )).json"
+fi
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
@@ -26,6 +31,8 @@ run .               'BenchmarkFig8CompressIPComp$|BenchmarkFig8DecompressIPComp$
 run ./internal/interp 'BenchmarkInterpPass$|BenchmarkVisitLevelShim$'
 run ./internal/server 'BenchmarkServerRegion$|BenchmarkClusterRegionLocal$|BenchmarkClusterRegionForwarded$|BenchmarkClusterRegionFailover$'
 run ./internal/core   'BenchmarkQuantizeLevel$'
+run ./internal/bitplane 'BenchmarkSplitRange$|BenchmarkMergeRange$'
+run ./internal/codec  'BenchmarkCodecEncodeBlock$'
 run ./internal/backend 'BenchmarkBackendMem$|BenchmarkBackendFile$|BenchmarkBackendHTTPCold$|BenchmarkBackendHTTPWarm$|BenchmarkBackendCachedProxy$'
 
 awk -v cpus="$(nproc)" '
