@@ -1,0 +1,662 @@
+// loadgen is the open-loop load harness: requests arrive on a Poisson
+// clock at a fixed rate — never gated on responses, so an overloaded
+// server faces a growing queue exactly as it would facing real clients —
+// and the mixed workload (cold ROIs, warm repeats, token-refine chains,
+// planes vs raw) is drawn per arrival from configurable weights.
+//
+// Targets: a live ipcompd (-addr), or an in-process server built from a
+// synthetic container (default), or an in-process consistent-hash cluster
+// (-cluster 3) whose nodes are hit round-robin so forwards are exercised.
+// The in-process server takes the same admission knobs as ipcompd
+// (-max-decode-concurrency, -max-request-bytes, -queue-timeout, -degrade);
+// -budget-frac derives the byte budget from the reference region's planes
+// plans, which is what the CI smoke uses to force degradation without
+// hard-coding container-format byte counts.
+//
+// Output is a human summary (p50/p99/p999 latency, goodput, error rate,
+// degraded count) plus, with -bench, Benchmark-style lines that
+// scripts/bench.sh folds into BENCH_<N>.json. The -assert-zero-errors and
+// -assert-degraded flags turn a run into a pass/fail smoke test.
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/datagen"
+	"repro/internal/grid"
+	"repro/internal/server"
+	"repro/internal/store"
+	"repro/internal/wire"
+	"repro/ipcomp/client"
+)
+
+// lgDataset is one target dataset's routing info.
+type lgDataset struct {
+	name  string
+	shape []int
+	eb    float64
+}
+
+// lgTarget is the serving surface under load: one or more base URLs
+// (cluster nodes round-robin) and the datasets they expose.
+type lgTarget struct {
+	urls     []string
+	datasets []lgDataset
+}
+
+// lgOpKind enumerates the workload mix.
+const (
+	opCold   = iota // raw GET of a randomly placed ROI
+	opWarm          // raw GET of one fixed ROI, cached after the first hit
+	opRefine        // planes fetch at a coarse bound + two token refines
+	opPlanes        // one-shot planes fetch at a random bound
+	numOps
+)
+
+var opNames = [numOps]string{"cold", "warm", "refine", "planes"}
+
+// lgStats accumulates per-request samples; one mutex is plenty at the
+// rates a single generator produces.
+type lgStats struct {
+	mu       sync.Mutex
+	lat      []time.Duration
+	payload  int64 // body bytes of successful responses
+	requests int64
+	errors   int64
+	degraded int64
+	byOp     [numOps]int64
+	errByOp  [numOps]int64
+	firstErr error
+}
+
+func (s *lgStats) record(op int, d time.Duration, n int64, degraded bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requests++
+	s.byOp[op]++
+	if err != nil {
+		s.errors++
+		s.errByOp[op]++
+		if s.firstErr == nil {
+			s.firstErr = err
+		}
+		return
+	}
+	s.lat = append(s.lat, d)
+	s.payload += n
+	if degraded {
+		s.degraded++
+	}
+}
+
+func runLoadgen(argv []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	addr := fs.String("addr", "", "base URL of a running ipcompd; empty starts an in-process server")
+	clusterN := fs.Int("cluster", 1, "in-process mode: cluster size (1 = plain single node, 3 = ring with forwards)")
+	rate := fs.Float64("rate", 200, "open-loop arrival rate, requests/second")
+	overload := fs.Float64("overload", 1, "rate multiplier for overload scenarios (the label reflects it)")
+	duration := fs.Duration("duration", 10*time.Second, "measured run length")
+	mix := fs.String("mix", "cold:2,warm:5,refine:2,planes:1", "workload weights, kind:weight pairs over cold,warm,refine,planes")
+	seed := fs.Int64("seed", 1, "PRNG seed for arrivals and workload draws")
+	label := fs.String("label", "", "scenario name in Benchmark output lines (default mixed, or overload<k>x)")
+	benchOut := fs.Bool("bench", false, "emit Benchmark-style lines for scripts/bench.sh")
+	maxConc := fs.Int("max-decode-concurrency", 0, "in-process server: concurrent decode slots (0 = unlimited)")
+	maxBytes := fs.Int64("max-request-bytes", 0, "in-process server: per-request response byte budget (0 = unlimited)")
+	budgetFrac := fs.Float64("budget-frac", 0, "in-process server: place the byte budget this fraction of the way from the coarsest to the tightest planes plan (overrides -max-request-bytes)")
+	queueTimeout := fs.Duration("queue-timeout", 0, "in-process server: max wait for a decode slot")
+	degrade := fs.Bool("degrade", false, "in-process server: degrade over-budget or queue-timed-out requests instead of rejecting")
+	assertZeroErrors := fs.Bool("assert-zero-errors", false, "fail the run if any request errored")
+	assertDegraded := fs.Bool("assert-degraded", false, "fail the run unless at least one response was degraded")
+	shapeEdge := fs.Int("shape", 64, "in-process single node: cube edge of the synthetic dataset")
+	chunkEdge := fs.Int("chunk", 32, "in-process single node: cube edge of its tiles (>=32 keeps tiles progressive)")
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	weights, err := parseMix(*mix)
+	if err != nil {
+		return err
+	}
+	effRate := *rate * *overload
+	if effRate <= 0 {
+		return fmt.Errorf("effective rate %.1f must be positive", effRate)
+	}
+
+	var target *lgTarget
+	if *addr != "" {
+		target, err = liveTarget(*addr)
+	} else {
+		opts := server.AdmissionOptions{
+			MaxDecodeConcurrency: *maxConc,
+			MaxRequestBytes:      *maxBytes,
+			QueueTimeout:         *queueTimeout,
+			Degrade:              *degrade,
+		}
+		var stop func()
+		target, stop, err = localTarget(*clusterN, opts, *budgetFrac, *shapeEdge, *chunkEdge)
+		if stop != nil {
+			defer stop()
+		}
+	}
+	if err != nil {
+		return err
+	}
+
+	name := *label
+	if name == "" {
+		if *overload != 1 {
+			name = fmt.Sprintf("overload%gx", *overload)
+		} else {
+			name = "mixed"
+		}
+	}
+	fmt.Printf("loadgen %s: %v at %.0f req/s against %d node(s), mix %s\n",
+		name, *duration, effRate, len(target.urls), *mix)
+
+	stats := &lgStats{}
+	runOpenLoop(target, weights, effRate, *duration, *seed, stats)
+	return report(name, stats, *duration, *benchOut, *assertZeroErrors, *assertDegraded)
+}
+
+// parseMix parses "cold:2,warm:5,..." into per-op weights.
+func parseMix(s string) ([numOps]int, error) {
+	var w [numOps]int
+	total := 0
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return w, fmt.Errorf("mix entry %q is not kind:weight", part)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return w, fmt.Errorf("mix weight %q must be a non-negative integer", v)
+		}
+		idx := -1
+		for i, name := range opNames {
+			if name == k {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			return w, fmt.Errorf("unknown workload kind %q (have cold, warm, refine, planes)", k)
+		}
+		w[idx] = n
+		total += n
+	}
+	if total == 0 {
+		return w, fmt.Errorf("mix %q has zero total weight", s)
+	}
+	return w, nil
+}
+
+// liveTarget points the generator at a running server and pulls its
+// dataset catalog for workload parameters.
+func liveTarget(addr string) (*lgTarget, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	dss, err := client.New(addr).Datasets(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("listing datasets of %s: %w", addr, err)
+	}
+	t := &lgTarget{urls: []string{strings.TrimRight(addr, "/")}}
+	for _, d := range dss {
+		if len(d.Shape) == 0 || d.ErrorBound <= 0 {
+			continue
+		}
+		t.datasets = append(t.datasets, lgDataset{name: d.Name, shape: d.Shape, eb: d.ErrorBound})
+	}
+	if len(t.datasets) == 0 {
+		return nil, fmt.Errorf("server %s exposes no usable datasets", addr)
+	}
+	return t, nil
+}
+
+// localTarget builds the in-process serving surface: one node over a 64³
+// container, or an n-node consistent-hash cluster over six containers
+// backed by a shared Mem catalog (every node can open every container;
+// the ring decides who serves what, so round-robin clients exercise
+// forwards).
+func localTarget(n int, adm server.AdmissionOptions, budgetFrac float64, shapeEdge, chunkEdge int) (*lgTarget, func(), error) {
+	if n == 1 {
+		g, err := datagen.GenerateShape("Density", grid.Shape{shapeEdge, shapeEdge, shapeEdge})
+		if err != nil {
+			return nil, nil, err
+		}
+		eb := 1e-6 * g.ValueRange()
+		var buf bytes.Buffer
+		w, err := store.NewWriter(&buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := w.AddGrid("density", g, store.WriteOptions{ErrorBound: eb, ChunkShape: grid.Shape{chunkEdge, chunkEdge, chunkEdge}}); err != nil {
+			return nil, nil, err
+		}
+		if err := w.Close(); err != nil {
+			return nil, nil, err
+		}
+		st, err := store.Open(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+		if err != nil {
+			return nil, nil, err
+		}
+		ds := lgDataset{name: "density", shape: []int{shapeEdge, shapeEdge, shapeEdge}, eb: eb}
+		if budgetFrac > 0 {
+			adm.MaxRequestBytes, err = planBudget(st, ds, budgetFrac)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		srv := server.New()
+		if err := srv.AddStore("loadgen.ipcs", st); err != nil {
+			return nil, nil, err
+		}
+		srv.SetAdmission(adm)
+		srv.SetReady()
+		url, stop, err := serveNode(srv)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &lgTarget{urls: []string{url}, datasets: []lgDataset{ds}}, stop, nil
+	}
+
+	mem := backend.NewMem()
+	fields := []string{"Density", "Pressure", "VelocityX", "Wave", "SpeedX", "CH4"}
+	const numContainers = 6
+	shape := grid.Shape{32, 32, 32}
+	var datasets []lgDataset
+	var containers []string
+	for k := 0; k < numContainers; k++ {
+		g, err := datagen.GenerateShape(fields[k%len(fields)], shape)
+		if err != nil {
+			return nil, nil, err
+		}
+		eb := 1e-6 * g.ValueRange()
+		var buf bytes.Buffer
+		w, err := store.NewWriter(&buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		dsName := fmt.Sprintf("d%02d", k)
+		if err := w.AddGrid(dsName, g, store.WriteOptions{ErrorBound: eb, ChunkShape: grid.Shape{16, 16, 16}}); err != nil {
+			return nil, nil, err
+		}
+		if err := w.Close(); err != nil {
+			return nil, nil, err
+		}
+		cname := fmt.Sprintf("c%02d.ipcs", k)
+		mem.Add(cname, buf.Bytes())
+		containers = append(containers, cname)
+		datasets = append(datasets, lgDataset{name: dsName, shape: []int(shape), eb: eb})
+	}
+
+	// Listeners first: peer URLs must exist before EnableCluster, and no
+	// request flows until every node's handler is serving.
+	var peers []server.Peer
+	var listeners []net.Listener
+	stop := func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		listeners = append(listeners, l)
+		peers = append(peers, server.Peer{Name: fmt.Sprintf("n%d", i+1), URL: "http://" + l.Addr().String()})
+	}
+	var urls []string
+	for i, p := range peers {
+		srv := server.New()
+		if err := srv.EnableCluster(server.ClusterOptions{Self: p.Name, Peers: peers}); err != nil {
+			stop()
+			return nil, nil, err
+		}
+		for _, cname := range containers {
+			st, err := store.OpenBackend(mem, cname)
+			if err != nil {
+				stop()
+				return nil, nil, err
+			}
+			if srv.Owns(cname) {
+				if err := srv.AddStore(cname, st); err != nil {
+					stop()
+					return nil, nil, err
+				}
+			} else {
+				etag, err := server.ContainerETag(st)
+				if err != nil {
+					stop()
+					return nil, nil, err
+				}
+				if err := srv.AddRemote(cname, st.Size(), etag, st.Datasets()); err != nil {
+					stop()
+					return nil, nil, err
+				}
+			}
+		}
+		srv.SetAdmission(adm)
+		srv.SetReady()
+		go http.Serve(listeners[i], srv.Handler())
+		urls = append(urls, peers[i].URL)
+	}
+	return &lgTarget{urls: urls, datasets: datasets}, stop, nil
+}
+
+// serveNode exposes one server on a loopback listener.
+func serveNode(srv *server.Server) (string, func(), error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	go http.Serve(l, srv.Handler())
+	return "http://" + l.Addr().String(), func() { l.Close() }, nil
+}
+
+// planBudget sizes a byte budget frac of the way from the coarsest planes
+// plan of the reference region (the warm ROI) to its tightest-requested
+// plan, mirroring the server's wire-size accounting. Budgets in that band
+// force planes degradation while leaving every ladder step room to fit.
+func planBudget(st *store.Store, ds lgDataset, frac float64) (int64, error) {
+	lo, hi := warmROI(ds.shape)
+	size := func(bound float64) (int64, error) {
+		rp, err := st.PlanRegion(ds.name, lo, hi, bound, 0)
+		if err != nil {
+			return 0, err
+		}
+		total := wire.RegionHeaderSize(len(lo))
+		for i := range rp.Chunks {
+			cp := &rp.Chunks[i]
+			total += wire.ChunkHeaderSize(len(lo), len(cp.Keep))
+			total += int64(len(cp.Spans))*wire.SpanHeaderSize + cp.Bytes()
+		}
+		return total, nil
+	}
+	full, err := size(4 * ds.eb) // tightest bound the workload requests
+	if err != nil {
+		return 0, err
+	}
+	minimal, err := size(ds.eb * math.Pow(2, 50))
+	if err != nil {
+		return 0, err
+	}
+	if minimal >= full {
+		return 0, fmt.Errorf("planes plans do not vary with bound (minimal %d, full %d); cannot derive a budget", minimal, full)
+	}
+	return minimal + int64(frac*float64(full-minimal)), nil
+}
+
+// warmROI is the fixed region warm repeats hit: the centered half-box.
+func warmROI(shape []int) (lo, hi []int) {
+	lo = make([]int, len(shape))
+	hi = make([]int, len(shape))
+	for d, s := range shape {
+		lo[d] = s / 8
+		hi[d] = s - s/8
+	}
+	return lo, hi
+}
+
+// runOpenLoop fires requests on a Poisson clock. Arrival times and every
+// workload draw happen on the scheduler goroutine (one PRNG, reproducible
+// by seed); only the request itself runs concurrently. The loop never
+// waits for responses — that is what makes it open-loop.
+func runOpenLoop(t *lgTarget, weights [numOps]int, rate float64, duration time.Duration, seed int64, stats *lgStats) {
+	rng := rand.New(rand.NewSource(seed))
+	hc := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        512,
+			MaxIdleConnsPerHost: 256,
+		},
+	}
+	totalW := 0
+	for _, w := range weights {
+		totalW += w
+	}
+	pickOp := func() int {
+		r := rng.Intn(totalW)
+		for op, w := range weights {
+			if r < w {
+				return op
+			}
+			r -= w
+		}
+		return opWarm
+	}
+
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(duration)
+	next := time.Now()
+	for next.Before(deadline) {
+		time.Sleep(time.Until(next))
+		op := pickOp()
+		url := t.urls[rng.Intn(len(t.urls))]
+		ds := t.datasets[rng.Intn(len(t.datasets))]
+		req := buildRequest(rng, op, ds)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			doRequest(hc, url, op, ds, req, stats)
+		}()
+		next = next.Add(time.Duration(rng.ExpFloat64() / rate * float64(time.Second)))
+	}
+	wg.Wait()
+}
+
+// lgRequest carries one drawn request's parameters from the scheduler
+// (which owns the PRNG) into its goroutine.
+type lgRequest struct {
+	lo, hi []int
+	bound  float64
+}
+
+func buildRequest(rng *rand.Rand, op int, ds lgDataset) lgRequest {
+	switch op {
+	case opCold:
+		// A randomly placed ROI, half the extent per dimension on a coarse
+		// lattice: enough distinct boxes that most draws touch tiles in
+		// fidelity states this bound has not seen.
+		lo := make([]int, len(ds.shape))
+		hi := make([]int, len(ds.shape))
+		for d, s := range ds.shape {
+			ext := s / 2
+			if ext < 1 {
+				ext = 1
+			}
+			step := s / 8
+			if step < 1 {
+				step = 1
+			}
+			slots := (s - ext) / step
+			off := 0
+			if slots > 0 {
+				off = rng.Intn(slots+1) * step
+			}
+			lo[d], hi[d] = off, off+ext
+		}
+		bounds := []float64{4, 16, 64}
+		return lgRequest{lo: lo, hi: hi, bound: bounds[rng.Intn(len(bounds))] * ds.eb}
+	case opRefine:
+		lo, hi := warmROI(ds.shape)
+		return lgRequest{lo: lo, hi: hi, bound: 256 * ds.eb}
+	case opPlanes:
+		lo, hi := warmROI(ds.shape)
+		bounds := []float64{16, 64}
+		return lgRequest{lo: lo, hi: hi, bound: bounds[rng.Intn(len(bounds))] * ds.eb}
+	default: // opWarm
+		lo, hi := warmROI(ds.shape)
+		return lgRequest{lo: lo, hi: hi, bound: 64 * ds.eb}
+	}
+}
+
+// doRequest executes one drawn request and records its samples. Raw ops
+// are one GET; planes ops go through the ipcomp client; refine ops fetch
+// coarse and then walk the token down two rungs, recording each HTTP
+// round as its own latency sample (that is what a client of the
+// progressive protocol experiences).
+func doRequest(hc *http.Client, baseURL string, op int, ds lgDataset, req lgRequest, stats *lgStats) {
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Second)
+	defer cancel()
+	switch op {
+	case opCold, opWarm:
+		start := time.Now()
+		n, degraded, err := rawGet(ctx, hc, baseURL, ds.name, req)
+		stats.record(op, time.Since(start), n, degraded, err)
+	case opPlanes:
+		c := client.New(baseURL, client.WithHTTPClient(hc))
+		start := time.Now()
+		reg, err := c.Region(ctx, ds.name, req.lo, req.hi, req.bound)
+		if err != nil {
+			stats.record(op, 0, 0, false, err)
+			return
+		}
+		stats.record(op, time.Since(start), reg.FetchedBytes(), reg.Bound() > req.bound*1.01, nil)
+	case opRefine:
+		c := client.New(baseURL, client.WithHTTPClient(hc))
+		start := time.Now()
+		reg, err := c.Region(ctx, ds.name, req.lo, req.hi, req.bound)
+		if err != nil {
+			stats.record(op, 0, 0, false, err)
+			return
+		}
+		stats.record(op, time.Since(start), reg.FetchedBytes(), reg.Bound() > req.bound*1.01, nil)
+		for _, mult := range []float64{16, 4} {
+			want := mult * ds.eb
+			fetched := reg.FetchedBytes()
+			start = time.Now()
+			if err := reg.Refine(ctx, want); err != nil {
+				stats.record(op, 0, 0, false, err)
+				return
+			}
+			stats.record(op, time.Since(start), reg.FetchedBytes()-fetched, reg.Bound() > want*1.01, nil)
+		}
+	}
+}
+
+// rawGet fetches a region in the raw format and drains the body.
+func rawGet(ctx context.Context, hc *http.Client, baseURL, dataset string, r lgRequest) (int64, bool, error) {
+	url := fmt.Sprintf("%s/v1/datasets/%s/region?lo=%s&hi=%s&bound=%s",
+		baseURL, dataset, coordList(r.lo), coordList(r.hi),
+		strconv.FormatFloat(r.bound, 'g', -1, 64))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, false, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, false, err
+	}
+	defer resp.Body.Close()
+	n, err := io.Copy(io.Discard, resp.Body)
+	if err != nil {
+		return 0, false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, false, fmt.Errorf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	return n, resp.Header.Get("X-Ipcomp-Degraded") == "true", nil
+}
+
+func coordList(v []int) string {
+	var sb strings.Builder
+	for i, x := range v {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(x))
+	}
+	return sb.String()
+}
+
+// report prints the human summary and optional Benchmark lines, and
+// enforces the assertion flags.
+func report(name string, stats *lgStats, duration time.Duration, bench, wantZeroErrors, wantDegraded bool) error {
+	stats.mu.Lock()
+	defer stats.mu.Unlock()
+	lat := stats.lat
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) time.Duration {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lat)))
+		if i >= len(lat) {
+			i = len(lat) - 1
+		}
+		return lat[i]
+	}
+	p50, p99, p999 := pct(0.50), pct(0.99), pct(0.999)
+	goodput := float64(stats.payload) / duration.Seconds()
+	errRate := 0.0
+	if stats.requests > 0 {
+		errRate = float64(stats.errors) / float64(stats.requests)
+	}
+
+	fmt.Printf("  requests %d  ok %d  errors %d (%.2f%%)  degraded %d\n",
+		stats.requests, int64(len(lat)), stats.errors, 100*errRate, stats.degraded)
+	fmt.Printf("  latency p50 %v  p99 %v  p999 %v\n", p50.Round(time.Microsecond), p99.Round(time.Microsecond), p999.Round(time.Microsecond))
+	fmt.Printf("  goodput %.1f MB/s (successful response payload over the run)\n", goodput/1e6)
+	var mixParts []string
+	for op, n := range stats.byOp {
+		if n > 0 {
+			part := fmt.Sprintf("%s %d", opNames[op], n)
+			if e := stats.errByOp[op]; e > 0 {
+				part += fmt.Sprintf(" (%d errors)", e)
+			}
+			mixParts = append(mixParts, part)
+		}
+	}
+	fmt.Printf("  by kind: %s\n", strings.Join(mixParts, ", "))
+	if stats.firstErr != nil {
+		fmt.Printf("  first error: %v\n", stats.firstErr)
+	}
+
+	if bench {
+		// The same shape bench.sh's awk expects from go test: name, count,
+		// value-unit pairs. The Goodput line carries mean latency as ns/op
+		// and payload bytes per successful request as B/op; bytes/sec is
+		// their quotient times 1e9.
+		base := "Loadgen" + strings.ToUpper(name[:1]) + name[1:]
+		emit := func(metric string, d time.Duration) {
+			fmt.Printf("Benchmark%s%s \t%8d\t%12d ns/op\n", base, metric, len(lat), d.Nanoseconds())
+		}
+		emit("P50", p50)
+		emit("P99", p99)
+		emit("P999", p999)
+		if len(lat) > 0 {
+			var sum time.Duration
+			for _, d := range lat {
+				sum += d
+			}
+			fmt.Printf("Benchmark%sGoodput \t%8d\t%12d ns/op\t%8d B/op\n",
+				base, len(lat), (sum / time.Duration(len(lat))).Nanoseconds(),
+				stats.payload/int64(len(lat)))
+		}
+	}
+
+	if wantZeroErrors && stats.errors > 0 {
+		return fmt.Errorf("%d of %d requests errored (first: %v)", stats.errors, stats.requests, stats.firstErr)
+	}
+	if wantDegraded && stats.degraded == 0 {
+		return fmt.Errorf("no response was degraded; admission pressure did not bite")
+	}
+	if stats.requests == 0 {
+		return fmt.Errorf("no requests were issued; raise -rate or -duration")
+	}
+	return nil
+}

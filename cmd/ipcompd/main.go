@@ -6,6 +6,7 @@
 // Usage:
 //
 //	ipcompd [-listen :8080] [-cache-mb 256] [-backend-cache-mb 64] [-prefetch-kb 0]
+//	        [-max-decode-concurrency 0] [-max-request-bytes 0] [-queue-timeout 1s] [-degrade]
 //	        [-self NAME -peers NAME=URL,... [-replication 2] [-vnodes 64]]
 //	        <container> ...
 //
@@ -66,8 +67,12 @@ func main() {
 	peers := flag.String("peers", "", "cluster mode: full membership as name=url,name=url,... (identical on every node)")
 	replication := flag.Int("replication", 2, "cluster mode: replicas per container")
 	vnodes := flag.Int("vnodes", 0, "cluster mode: virtual nodes per peer (0 = default)")
+	maxDecode := flag.Int("max-decode-concurrency", 0, "admission: concurrent decode slots; cold requests queue for one (0 = unlimited)")
+	maxReqBytes := flag.Int64("max-request-bytes", 0, "admission: per-request response byte budget (0 = unlimited)")
+	queueTimeout := flag.Duration("queue-timeout", 0, "admission: max wait for a decode slot (0 = default 1s)")
+	degrade := flag.Bool("degrade", false, "admission: answer over-budget or queue-timed-out requests at a coarser bound (X-Ipcomp-Degraded) instead of rejecting")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ipcompd [-listen :8080] [-cache-mb 256] [-backend-cache-mb 64] [-prefetch-kb 0] [-self NAME -peers NAME=URL,...] <path|dir|url> ...\n")
+		fmt.Fprintf(os.Stderr, "usage: ipcompd [-listen :8080] [-cache-mb 256] [-backend-cache-mb 64] [-prefetch-kb 0] [-max-decode-concurrency N] [-max-request-bytes N] [-degrade] [-self NAME -peers NAME=URL,...] <path|dir|url> ...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -82,7 +87,13 @@ func main() {
 		log.Fatal("cluster mode needs both -self and -peers")
 	}
 	cl := clusterFlags{self: *self, peers: *peers, replication: *replication, vnodes: *vnodes}
-	if err := run(*listen, *cacheMB, *backendCacheMB, *prefetchKB, cl, flag.Args()); err != nil {
+	adm := server.AdmissionOptions{
+		MaxDecodeConcurrency: *maxDecode,
+		MaxRequestBytes:      *maxReqBytes,
+		QueueTimeout:         *queueTimeout,
+		Degrade:              *degrade,
+	}
+	if err := run(*listen, *cacheMB, *backendCacheMB, *prefetchKB, cl, adm, flag.Args()); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -222,8 +233,13 @@ func register(srv *server.Server, clustered bool, cacheMB, backendCacheMB, prefe
 	return cleanup, nil
 }
 
-func run(listen string, cacheMB, backendCacheMB, prefetchKB int64, cl clusterFlags, specs []string) error {
+func run(listen string, cacheMB, backendCacheMB, prefetchKB int64, cl clusterFlags, adm server.AdmissionOptions, specs []string) error {
 	srv := server.New()
+	srv.SetAdmission(adm)
+	if adm.MaxDecodeConcurrency > 0 || adm.MaxRequestBytes > 0 {
+		log.Printf("admission: decode slots %d, request budget %d bytes, degrade %v",
+			adm.MaxDecodeConcurrency, adm.MaxRequestBytes, adm.Degrade)
+	}
 	clustered := cl.self != ""
 	if clustered {
 		peers, err := parsePeers(cl.peers)

@@ -85,6 +85,24 @@ func (h *Health) Allow(peer string) bool {
 	return true
 }
 
+// TryProbe claims the half-open probe for an ejected peer whose cooldown
+// has elapsed: it returns true for exactly one caller, which must settle
+// the probe via Success or Failure. Routable peers, peers still cooling
+// down, and peers with a probe already in flight return false. Routers
+// use it to run probes out-of-band (against /healthz) so no live request
+// ever pays a known-dead peer's dial; Allow remains the inline variant
+// where the probe rides a real request.
+func (h *Health) TryProbe(peer string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ps := h.state(peer)
+	if !ps.ejected || ps.probing || h.now().Sub(ps.ejectedAt) < h.cooldown {
+		return false
+	}
+	ps.probing = true
+	return true
+}
+
 // Success records a successful exchange with peer, closing its breaker.
 func (h *Health) Success(peer string) {
 	h.mu.Lock()

@@ -52,6 +52,53 @@ func TestHealthEjectionAndProbe(t *testing.T) {
 	}
 }
 
+func TestHealthTryProbe(t *testing.T) {
+	now := time.Unix(0, 0)
+	h := newHealthClock(2, time.Second, func() time.Time { return now })
+
+	if h.TryProbe("p") {
+		t.Fatal("routable peer must not claim a probe")
+	}
+	h.Failure("p")
+	h.Failure("p")
+	if h.Healthy("p") {
+		t.Fatal("two failures at threshold 2 should eject")
+	}
+	if h.TryProbe("p") {
+		t.Fatal("probe must wait out the cooldown")
+	}
+	now = now.Add(time.Second)
+	if !h.TryProbe("p") {
+		t.Fatal("cooldown elapsed, probe should be claimable")
+	}
+	if h.TryProbe("p") || h.Allow("p") {
+		t.Fatal("a second probe must not run while one is in flight")
+	}
+	if h.Healthy("p") {
+		t.Fatal("an in-flight probe does not make the peer routable")
+	}
+	h.Success("p")
+	if !h.Healthy("p") || h.TryProbe("p") {
+		t.Fatal("successful probe restores routing and releases the probe slot")
+	}
+
+	// A failed probe restarts the cooldown.
+	h.Failure("p")
+	h.Failure("p")
+	now = now.Add(time.Second)
+	if !h.TryProbe("p") {
+		t.Fatal("probe after second ejection")
+	}
+	h.Failure("p")
+	if h.TryProbe("p") {
+		t.Fatal("failed probe must restart the cooldown")
+	}
+	now = now.Add(time.Second)
+	if !h.TryProbe("p") {
+		t.Fatal("probe after restarted cooldown")
+	}
+}
+
 func TestHealthSuccessResetsCount(t *testing.T) {
 	h := NewHealth(3, time.Minute)
 	h.Failure("p")

@@ -1,0 +1,286 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/grid"
+	"repro/internal/store"
+	"repro/ipcomp/client"
+)
+
+func admissionGet(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp
+}
+
+// TestAdmissionQueueAndDegradeRaw exercises the decode semaphore end to
+// end: a cold request with the only slot taken times out of the queue and
+// is rejected when nothing is cached, degraded to the best cached
+// fidelity when something is, while warm requests bypass admission
+// entirely.
+func TestAdmissionQueueAndDegradeRaw(t *testing.T) {
+	env := newBenchEnv(t)
+	env.srv.SetAdmission(AdmissionOptions{
+		MaxDecodeConcurrency: 1,
+		QueueTimeout:         30 * time.Millisecond,
+		Degrade:              true,
+		RetryAfter:           2 * time.Second,
+	})
+	ts := httptest.NewServer(env.srv.Handler())
+	defer ts.Close()
+
+	bound := strconv.FormatFloat(64*env.eb, 'g', -1, 64)
+	coarseURL := ts.URL + "/v1/datasets/density/region?lo=8,8,8&hi=56,56,56&bound=" + bound
+	tightURL := ts.URL + "/v1/datasets/density/region?lo=8,8,8&hi=56,56,56&bound=" +
+		strconv.FormatFloat(env.eb, 'g', -1, 64)
+
+	// Occupy the only decode slot: a cold request must queue, time out,
+	// find nothing cached, and get 429 with the Retry-After hint.
+	env.srv.adm.slots <- struct{}{}
+	resp := admissionGet(t, coarseURL)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("cold request with decode slots exhausted: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", ra)
+	}
+	if q := env.srv.adm.queued.Load(); q != 1 {
+		t.Fatalf("queued counter = %d, want 1", q)
+	}
+	if rej := env.srv.adm.rejected.Load(); rej != 1 {
+		t.Fatalf("rejected counter = %d, want 1", rej)
+	}
+
+	// Release the slot and warm the region at the coarse bound.
+	<-env.srv.adm.slots
+	if resp := admissionGet(t, coarseURL); resp.StatusCode != 200 {
+		t.Fatalf("warming request: status %d", resp.StatusCode)
+	}
+
+	// Re-occupy the slot. A tighter request needs refine work, times out,
+	// but now the coarse fidelity is cached: it must be answered degraded.
+	env.srv.adm.slots <- struct{}{}
+	resp = admissionGet(t, tightURL)
+	if resp.StatusCode != 200 {
+		t.Fatalf("degradable tight request: status %d, want 200", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Ipcomp-Degraded") != "true" {
+		t.Fatal("degraded response is missing X-Ipcomp-Degraded: true")
+	}
+	g, err := strconv.ParseFloat(resp.Header.Get("X-Ipcomp-Guaranteed-Error"), 64)
+	if err != nil || g <= env.eb || g > 64*env.eb {
+		t.Fatalf("degraded guaranteed error = %v (%v), want within (eb, 64eb]", g, err)
+	}
+	if d := env.srv.adm.degraded.Load(); d != 1 {
+		t.Fatalf("degraded counter = %d, want 1", d)
+	}
+
+	// Warm traffic at the cached fidelity must bypass admission: the slot
+	// is still taken, yet the request is served full-quality.
+	resp = admissionGet(t, coarseURL)
+	if resp.StatusCode != 200 || resp.Header.Get("X-Ipcomp-Degraded") != "" {
+		t.Fatalf("warm request with slots exhausted: status %d degraded=%q, want clean 200",
+			resp.StatusCode, resp.Header.Get("X-Ipcomp-Degraded"))
+	}
+	<-env.srv.adm.slots
+}
+
+// TestAdmissionByteBudget checks the per-request byte budget: raw
+// responses over budget are 413 (their size cannot degrade), planes
+// responses over budget are 429 when degradation is off.
+func TestAdmissionByteBudget(t *testing.T) {
+	env := newBenchEnv(t)
+	env.srv.SetAdmission(AdmissionOptions{MaxRequestBytes: 4096})
+	ts := httptest.NewServer(env.srv.Handler())
+	defer ts.Close()
+
+	url := ts.URL + env.regionPath("")
+	resp := admissionGet(t, url)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-budget raw: status %d, want 413", resp.StatusCode)
+	}
+	resp = admissionGet(t, url+"&format=planes")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget planes without degrade: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 response is missing Retry-After")
+	}
+	if rej := env.srv.adm.rejected.Load(); rej != 2 {
+		t.Fatalf("rejected counter = %d, want 2", rej)
+	}
+
+	// A small raw region under the budget still flows.
+	small := ts.URL + "/v1/datasets/density/region?lo=0,0,0&hi=8,8,8&bound=" +
+		strconv.FormatFloat(64*env.eb, 'g', -1, 64)
+	if resp := admissionGet(t, small); resp.StatusCode != 200 {
+		t.Fatalf("under-budget raw: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestDegradedPlanesRefineBitIdentical is the degradation round trip the
+// protocol promises: a planes request over the byte budget is answered at
+// a coarser bound with a valid token, and refining that token back to the
+// originally requested bound converges to the direct fetch from an
+// unbudgeted server — bit-identically on a float32 dataset, whose
+// reconstruction is a pure function of (archive, plan) regardless of the
+// refinement path. (float64 incremental refinement can drift by an ulp,
+// which is why the repo's progressive tests bound it rather than pin it.)
+func TestDegradedPlanesRefineBitIdentical(t *testing.T) {
+	// 64³ fields in 32³ tiles: tiles must clear the progressive threshold,
+	// or plans are bound-independent and nothing can degrade.
+	g, err := datagen.GenerateShape("Density", grid.Shape{64, 64, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb := 1e-6 * g.ValueRange()
+	eb32 := 1e-4 * g.ValueRange()
+	var buf bytes.Buffer
+	w, err := store.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddGrid("density", g, store.WriteOptions{ErrorBound: eb, ChunkShape: grid.Shape{32, 32, 32}}); err != nil {
+		t.Fatal(err)
+	}
+	g32, err := grid.FromSlice(grid.NarrowSlice(g.Data()), g.Shape())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Add(w, "density32", g32, store.WriteOptions{ErrorBound: eb32, ChunkShape: grid.Shape{32, 32, 32}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := New()
+	if err := plain.AddStore("truth.ipcs", st); err != nil {
+		t.Fatal(err)
+	}
+	tsB := httptest.NewServer(plain.Handler())
+	defer tsB.Close()
+
+	lo, hi := []int{0, 0, 0}, []int{64, 64, 64}
+	tight := 4 * eb32
+	ctx := context.Background()
+
+	// Two servers share one store: the budgeted one degrades, the plain
+	// one (e.ts) is ground truth. Size the budget between the minimal
+	// plan (coarse levels ship whole regardless of bound — no degradation
+	// shaves them) and the full plan, so the test holds as compression
+	// details shift: degradation is forced, yet every ladder step has
+	// room to make progress.
+	planSize := func(name string, bound float64) int64 {
+		t.Helper()
+		rp, err := st.PlanRegion(name, lo, hi, bound, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := planTotal(rp, len(lo))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	full := planSize("density32", tight)
+	minimal := planSize("density32", eb32*math.Pow(2, 50))
+	if minimal >= full {
+		t.Fatalf("minimal plan %d >= full plan %d; dataset unsuitable for a degradation test", minimal, full)
+	}
+	budgeted := New()
+	if err := budgeted.AddStore("shared.ipcs", st); err != nil {
+		t.Fatal(err)
+	}
+	budgeted.SetAdmission(AdmissionOptions{MaxRequestBytes: minimal + (full-minimal)/4, Degrade: true})
+	tsA := httptest.NewServer(budgeted.Handler())
+	defer tsA.Close()
+
+	reg, err := client.New(tsA.URL).Region(ctx, "density32", lo, hi, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Bound() <= tight {
+		t.Fatalf("budgeted first response bound %g should be degraded above %g", reg.Bound(), tight)
+	}
+	if d := budgeted.adm.degraded.Load(); d == 0 {
+		t.Fatal("degraded counter did not move")
+	}
+
+	// Refine toward the original bound; each round ships the fitting slice
+	// of the remaining delta, so the loop must terminate.
+	for i := 0; reg.Bound() > tight; i++ {
+		if i >= 20 {
+			t.Fatalf("refinement did not converge: bound still %g after %d rounds", reg.Bound(), i)
+		}
+		if err := reg.Refine(ctx, tight); err != nil {
+			t.Fatalf("refine round %d: %v", i, err)
+		}
+	}
+
+	ref, err := client.New(tsB.URL).Region(ctx, "density32", lo, hi, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := reg.DataFloat32(), ref.DataFloat32()
+	if len(got) != len(want) {
+		t.Fatalf("len %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("element %d differs after refinement: %x != %x",
+				i, math.Float32bits(got[i]), math.Float32bits(want[i]))
+		}
+	}
+	if reg.GuaranteedError() != ref.GuaranteedError() {
+		t.Fatalf("guaranteed error %g != %g", reg.GuaranteedError(), ref.GuaranteedError())
+	}
+
+	// The float64 flavor of the same round trip: converged data must meet
+	// the requested bound against the original field. The budget is
+	// re-sized from the f64 plans, which are wider than the f32 ones.
+	tight64 := 4 * eb
+	full64 := planSize("density", tight64)
+	minimal64 := planSize("density", eb*math.Pow(2, 50))
+	if minimal64 >= full64 {
+		t.Fatalf("f64 minimal plan %d >= full plan %d", minimal64, full64)
+	}
+	budgeted.SetAdmission(AdmissionOptions{MaxRequestBytes: minimal64 + (full64-minimal64)/4, Degrade: true})
+	reg64, err := client.New(tsA.URL).Region(ctx, "density", lo, hi, tight64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; reg64.Bound() > tight64; i++ {
+		if i >= 20 {
+			t.Fatalf("f64 refinement did not converge: bound still %g", reg64.Bound())
+		}
+		if err := reg64.Refine(ctx, tight64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data := reg64.Data()
+	truth := g.Data()
+	for i := range data {
+		if d := math.Abs(data[i] - truth[i]); d > tight64 {
+			t.Fatalf("f64 value %d off by %g after degraded refinement (bound %g)", i, d, tight64)
+		}
+	}
+}

@@ -14,14 +14,16 @@ import (
 	"repro/internal/store"
 )
 
-// BenchmarkServerRegion measures the region endpoint through the full
-// HTTP stack on a 64³ container (32³ tiles):
-//
-//	cold       raw retrieval with an empty tile cache — decode-dominated
-//	warm       raw retrieval of cached tiles — copy/stream-dominated
-//	concurrent warm raw retrievals from GOMAXPROCS parallel clients
-//	planes     the progressive wire format — no decoding server-side
-func BenchmarkServerRegion(b *testing.B) {
+// benchEnv is the shared benchmark fixture: a 64³ Density container in
+// 32³ tiles behind a Server.
+type benchEnv struct {
+	srv *Server
+	st  *store.Store
+	eb  float64
+}
+
+func newBenchEnv(b testing.TB) *benchEnv {
+	b.Helper()
 	g, err := datagen.GenerateShape("Density", grid.Shape{64, 64, 64})
 	if err != nil {
 		b.Fatal(err)
@@ -46,11 +48,93 @@ func BenchmarkServerRegion(b *testing.B) {
 	if err := srv.AddStore("test.ipcs", st); err != nil {
 		b.Fatal(err)
 	}
-	ts := httptest.NewServer(srv.Handler())
+	return &benchEnv{srv: srv, st: st, eb: eb}
+}
+
+func (env *benchEnv) regionPath(extra string) string {
+	bound := strconv.FormatFloat(64*env.eb, 'g', -1, 64)
+	return "/v1/datasets/density/region?lo=8,8,8&hi=56,56,56&bound=" + bound + extra
+}
+
+func (env *benchEnv) resetCache() {
+	env.st.SetCacheBytes(0) // drop every cached tile
+	env.st.SetCacheBytes(store.DefaultCacheBytes)
+}
+
+// discardResponseWriter sinks a response without buffering it, so the
+// direct benchmarks measure serve-path cost, not test-harness copies.
+type discardResponseWriter struct {
+	h      http.Header
+	status int
+}
+
+func (w *discardResponseWriter) Header() http.Header         { return w.h }
+func (w *discardResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *discardResponseWriter) WriteHeader(code int)        { w.status = code }
+
+func (w *discardResponseWriter) reset() {
+	clear(w.h)
+	w.status = 0
+}
+
+// BenchmarkServerRegion drives the handler directly — no TCP, no client —
+// so ns/op and allocs/op price the serve path itself on a 64³ container
+// (32³ tiles):
+//
+//	cold       raw retrieval with an empty tile cache — decode-dominated
+//	warm       raw retrieval of cached tiles — the allocation-free path
+//	planes     the progressive wire format — no decoding server-side
+func BenchmarkServerRegion(b *testing.B) {
+	env := newBenchEnv(b)
+	handler := env.srv.Handler()
+	serve := func(b *testing.B, w *discardResponseWriter, req *http.Request) {
+		w.reset()
+		handler.ServeHTTP(w, req)
+		if w.status != 0 && w.status != 200 {
+			b.Fatalf("status %d", w.status)
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		req := httptest.NewRequest("GET", env.regionPath(""), nil)
+		w := &discardResponseWriter{h: make(http.Header)}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			env.resetCache()
+			serve(b, w, req)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		req := httptest.NewRequest("GET", env.regionPath(""), nil)
+		w := &discardResponseWriter{h: make(http.Header)}
+		env.resetCache()
+		serve(b, w, req)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			serve(b, w, req)
+		}
+	})
+	b.Run("planes", func(b *testing.B) {
+		req := httptest.NewRequest("GET", env.regionPath("&format=planes"), nil)
+		w := &discardResponseWriter{h: make(http.Header)}
+		serve(b, w, req)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			serve(b, w, req)
+		}
+	})
+}
+
+// BenchmarkServerRegionHTTP measures the same requests through the full
+// HTTP stack (TCP loopback, net/http client), pricing what a local
+// client actually sees.
+func BenchmarkServerRegionHTTP(b *testing.B) {
+	env := newBenchEnv(b)
+	ts := httptest.NewServer(env.srv.Handler())
 	defer ts.Close()
 
-	bound := strconv.FormatFloat(64*eb, 'g', -1, 64)
-	regionURL := ts.URL + "/v1/datasets/density/region?lo=8,8,8&hi=56,56,56&bound=" + bound
+	regionURL := ts.URL + env.regionPath("")
 	get := func(c *http.Client, url string) error {
 		resp, err := c.Get(url)
 		if err != nil {
@@ -68,16 +152,14 @@ func BenchmarkServerRegion(b *testing.B) {
 
 	b.Run("cold", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			st.SetCacheBytes(0) // drop every cached tile
-			st.SetCacheBytes(store.DefaultCacheBytes)
+			env.resetCache()
 			if err := get(http.DefaultClient, regionURL); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	warm := func(b *testing.B) {
-		st.SetCacheBytes(0)
-		st.SetCacheBytes(store.DefaultCacheBytes)
+		env.resetCache()
 		if err := get(http.DefaultClient, regionURL); err != nil {
 			b.Fatal(err)
 		}
@@ -109,4 +191,26 @@ func BenchmarkServerRegion(b *testing.B) {
 			}
 		}
 	})
+}
+
+// TestServerRegionWarmAllocs pins the warm raw serve path's allocation
+// budget: a cached region through the full handler must stay within 20
+// allocations (mux match, header values, and nothing region-sized).
+func TestServerRegionWarmAllocs(t *testing.T) {
+	env := newBenchEnv(t)
+	handler := env.srv.Handler()
+	req := httptest.NewRequest("GET", env.regionPath(""), nil)
+	w := &discardResponseWriter{h: make(http.Header)}
+	handler.ServeHTTP(w, req) // warm the tile cache and the scratch pool
+	if w.status != 0 && w.status != 200 {
+		t.Fatalf("status %d", w.status)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		w.reset()
+		handler.ServeHTTP(w, req)
+	})
+	if allocs > 20 {
+		t.Fatalf("warm region request allocates %.1f objects/op, budget is 20", allocs)
+	}
+	t.Logf("warm region request: %.1f allocs/op", allocs)
 }

@@ -84,6 +84,7 @@ type peerState struct {
 	url       string
 	forwards  atomic.Int64 // responses relayed from this peer
 	failovers atomic.Int64 // attempts that failed over past this peer
+	probes    atomic.Int64 // background half-open probes launched
 }
 
 // clusterState is the router: ring, peer table, health breaker, and the
@@ -291,11 +292,16 @@ func (cs *clusterState) forward(w http.ResponseWriter, r *http.Request, containe
 		}
 		// Prefer routable peers; when the breaker has ejected every
 		// replica, try them all anyway — a wrong "all dead" verdict must
-		// degrade to slow requests, not refused ones.
+		// degrade to slow requests, not refused ones. Ejected peers are
+		// skipped before any dial: their half-open recovery probe runs
+		// out-of-band (maybeProbe), so the steady-state cost of an
+		// unnoticed-dead first replica is one breaker lookup, not a
+		// connection-refused per request.
 		tried := false
 		for pass := 0; pass < 2 && !tried; pass++ {
 			for i, ps := range candidates {
-				if pass == 0 && !cs.health.Allow(names[i]) {
+				if pass == 0 && !cs.health.Healthy(names[i]) {
+					cs.maybeProbe(names[i], ps)
 					continue
 				}
 				tried = true
@@ -315,6 +321,40 @@ func (cs *clusterState) forward(w http.ResponseWriter, r *http.Request, containe
 	}
 	writeError(w, http.StatusBadGateway,
 		fmt.Sprintf("no replica of container %q answered: %v", container, lastErr))
+}
+
+// maybeProbe launches one background half-open probe of an ejected peer
+// when its cooldown has elapsed (TryProbe arbitrates so at most one probe
+// is in flight per peer). The probe hits /healthz — cheap, no container
+// I/O — and settles the breaker via Success/Failure, which is what lets
+// a revived peer rejoin routing without any live request ever paying the
+// probe's latency.
+func (cs *clusterState) maybeProbe(name string, ps *peerState) {
+	if !cs.health.TryProbe(name) {
+		return
+	}
+	ps.probes.Add(1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), cs.attemptTimeout)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, ps.url+"/healthz", nil)
+		if err != nil {
+			cs.health.Failure(name)
+			return
+		}
+		resp, err := cs.hc.Do(req)
+		if err != nil {
+			cs.health.Failure(name)
+			return
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			cs.health.Success(name)
+		} else {
+			cs.health.Failure(name)
+		}
+	}()
 }
 
 // bufferedResp is a fully-read peer response, safe to relay.
@@ -381,6 +421,7 @@ type ClusterPeerDoc struct {
 	Self      bool   `json:"self,omitempty"`
 	Forwards  int64  `json:"forwards"`
 	Failovers int64  `json:"failovers"`
+	Probes    int64  `json:"probes,omitempty"`
 	Ejected   bool   `json:"ejected,omitempty"`
 	Ejections int64  `json:"ejections,omitempty"`
 }
@@ -404,6 +445,7 @@ func (cs *clusterState) doc() *ClusterDoc {
 			Self:      name == cs.self,
 			Forwards:  ps.forwards.Load(),
 			Failovers: ps.failovers.Load(),
+			Probes:    ps.probes.Load(),
 			Ejected:   hp.Ejected,
 			Ejections: hp.Ejections,
 		})

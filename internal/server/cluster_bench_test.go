@@ -83,12 +83,12 @@ outer:
 }
 
 func BenchmarkClusterRegionFailover(b *testing.B) {
-	// A huge failure threshold keeps the breaker closed, so every
-	// iteration pays the dead first replica before the live second one —
-	// the steady-state price of an unnoticed dead peer, not the
-	// post-ejection price (which is Forwarded).
+	// Default breaker: the first few iterations pay the dead first
+	// replica's refused connection, then the breaker ejects it and the
+	// steady state is one Healthy() lookup plus the Forwarded hop —
+	// half-open recovery probes run in the background, never on the
+	// request path, so this should sit within noise of Forwarded.
 	env := newClusterEnv(b, 6, 2, func(o *ClusterOptions) {
-		o.FailureThreshold = 1 << 30
 		o.AttemptTimeout = 2 * time.Second
 	})
 	// Find a container whose replica order is [dead, alive] as seen from

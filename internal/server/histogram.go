@@ -1,0 +1,101 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the fixed upper bounds (seconds) of the request
+// latency histogram, log-spaced from 100µs to 10s — wide enough to hold
+// both a warm cache hit and a queued cold decode. A fixed layout keeps
+// observation to one atomic increment with no allocation; the +Inf bucket
+// is implicit (it equals _count).
+var latencyBuckets = [...]float64{
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+	1e-1, 2.5e-1, 5e-1, 1, 2.5, 5, 10,
+}
+
+// histogram is one fixed-bucket latency series. Buckets store
+// non-cumulative counts; rendering accumulates them into the cumulative
+// le-labeled form the Prometheus exposition requires.
+type histogram struct {
+	buckets  [len(latencyBuckets)]atomic.Int64
+	over     atomic.Int64 // observations beyond the last bucket
+	count    atomic.Int64
+	sumNanos atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	for i, ub := range latencyBuckets {
+		if s <= ub {
+			h.buckets[i].Add(1)
+			goto counted
+		}
+	}
+	h.over.Add(1)
+counted:
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// Request label dimensions. The route label is constant for now — only
+// the region endpoint is instrumented — but is emitted so adding routes
+// later does not break scrapes.
+const (
+	fmtRaw = iota
+	fmtPlanes
+	numFormats
+)
+
+const (
+	outOK = iota
+	outDegraded
+	outRejected // 429 or 413 from admission
+	outError    // any other non-2xx
+	numOutcomes
+)
+
+var formatNames = [numFormats]string{"raw", "planes"}
+var outcomeNames = [numOutcomes]string{"ok", "degraded", "rejected", "error"}
+
+// requestMetrics is the per-server request instrumentation: one histogram
+// per (format, outcome) pair.
+type requestMetrics struct {
+	region [numFormats][numOutcomes]histogram
+}
+
+func (m *requestMetrics) observe(format, outcome int, d time.Duration) {
+	m.region[format][outcome].observe(d)
+}
+
+// render writes the ipcomp_request_seconds family in exposition format.
+// Series never observed are omitted, so an idle server's scrape stays
+// small; Prometheus treats absent series as zero.
+func (m *requestMetrics) render(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP ipcomp_request_seconds Region request latency by response format and outcome.\n")
+	fmt.Fprintf(b, "# TYPE ipcomp_request_seconds histogram\n")
+	for f := 0; f < numFormats; f++ {
+		for o := 0; o < numOutcomes; o++ {
+			h := &m.region[f][o]
+			count := h.count.Load()
+			if count == 0 {
+				continue
+			}
+			labels := `route="region",format="` + formatNames[f] + `",outcome="` + outcomeNames[o] + `"`
+			cum := int64(0)
+			for i := range latencyBuckets {
+				cum += h.buckets[i].Load()
+				fmt.Fprintf(b, "ipcomp_request_seconds_bucket{%s,le=%q} %d\n",
+					labels, strconv.FormatFloat(latencyBuckets[i], 'g', -1, 64), cum)
+			}
+			fmt.Fprintf(b, "ipcomp_request_seconds_bucket{%s,le=\"+Inf\"} %d\n", labels, cum+h.over.Load())
+			fmt.Fprintf(b, "ipcomp_request_seconds_sum{%s} %g\n", labels,
+				float64(h.sumNanos.Load())/float64(time.Second))
+			fmt.Fprintf(b, "ipcomp_request_seconds_count{%s} %d\n", labels, count)
+		}
+	}
+}

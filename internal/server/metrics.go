@@ -40,6 +40,11 @@ func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("ipcomp_backend_prefetched_bytes_total", "Bytes read speculatively by sequential readahead.", doc.BackendPrefetched)
 	counter("ipcomp_backend_coalesced_reads_total", "Reads that joined an identical in-flight origin fetch.", doc.BackendCoalesced)
 
+	counter("ipcomp_admission_queued_total", "Cold requests that waited for a decode slot.", srv.adm.queued.Load())
+	counter("ipcomp_admission_degraded_total", "Requests answered at a coarser bound than asked.", srv.adm.degraded.Load())
+	counter("ipcomp_admission_rejected_total", "Requests rejected by admission control (429 or 413).", srv.adm.rejected.Load())
+	srv.met.render(&b)
+
 	if len(doc.Codec) > 0 {
 		// One family per direction with a series per block method, like the
 		// cluster per-peer families below.
@@ -67,6 +72,8 @@ func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			func(p ClusterPeerDoc) (int64, bool) { return p.Failovers, !p.Self })
 		labeled("ipcomp_cluster_peer_ejections_total", "Times this peer's breaker opened.", "counter",
 			func(p ClusterPeerDoc) (int64, bool) { return p.Ejections, !p.Self })
+		labeled("ipcomp_cluster_peer_probes_total", "Background half-open probes sent to this peer.", "counter",
+			func(p ClusterPeerDoc) (int64, bool) { return p.Probes, !p.Self })
 		labeled("ipcomp_cluster_peer_healthy", "0 while this peer's breaker is open.", "gauge",
 			func(p ClusterPeerDoc) (int64, bool) {
 				if p.Ejected {

@@ -2,7 +2,10 @@ package server
 
 import (
 	"io"
+	"math"
 	"net/http"
+	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -53,6 +56,127 @@ func TestMetricsSingleNode(t *testing.T) {
 	resp.Body.Close()
 	if strings.Contains(scrape(), "\nipcomp_tile_decodes_total 0\n") {
 		t.Error("tile decode counter did not move after a region request")
+	}
+}
+
+// TestMetricsRequestHistogram pins the request latency histogram and the
+// admission counters: after one of each outcome (clean raw, clean planes,
+// degraded planes, rejected raw) the scrape carries exactly those series
+// in valid cumulative form, with the +Inf bucket equal to _count, and the
+// admission counters reflect what happened.
+func TestMetricsRequestHistogram(t *testing.T) {
+	env := newBenchEnv(t)
+	ts := httptest.NewServer(env.srv.Handler())
+	defer ts.Close()
+
+	get := func(path string, want int) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("GET %s: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+	get(env.regionPath(""), 200)               // raw/ok
+	get(env.regionPath("&format=planes"), 200) // planes/ok
+
+	// A byte budget between the coarsest and requested plan sizes forces
+	// planes/degraded; the raw request's fixed size (48³ float64, far over
+	// any plan) cannot degrade, so it lands in raw/rejected.
+	lo, hi := []int{8, 8, 8}, []int{56, 56, 56}
+	planBytes := func(bound float64) int64 {
+		t.Helper()
+		rp, err := env.st.PlanRegion("density", lo, hi, bound, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := planTotal(rp, len(lo))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	full := planBytes(64 * env.eb)
+	minimal := planBytes(env.eb * math.Pow(2, 50))
+	if minimal >= full {
+		t.Fatalf("minimal plan %d >= full plan %d", minimal, full)
+	}
+	env.srv.SetAdmission(AdmissionOptions{MaxRequestBytes: minimal + (full-minimal)/4, Degrade: true})
+	get(env.regionPath("&format=planes"), 200) // planes/degraded
+	get(env.regionPath(""), http.StatusRequestEntityTooLarge)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(b)
+
+	if !strings.Contains(body, "# TYPE ipcomp_request_seconds histogram") {
+		t.Fatalf("metrics missing histogram TYPE line:\n%s", body)
+	}
+	for _, series := range []string{
+		`route="region",format="raw",outcome="ok"`,
+		`route="region",format="planes",outcome="ok"`,
+		`route="region",format="planes",outcome="degraded"`,
+		`route="region",format="raw",outcome="rejected"`,
+	} {
+		if !strings.Contains(body, `ipcomp_request_seconds_bucket{`+series+`,le="+Inf"} 1`) {
+			t.Errorf("missing or wrong +Inf bucket for {%s}:\n%s", series, body)
+		}
+		if !strings.Contains(body, `ipcomp_request_seconds_count{`+series+`} 1`) {
+			t.Errorf("missing count for {%s}", series)
+		}
+		if !strings.Contains(body, `ipcomp_request_seconds_sum{`+series+`} `) {
+			t.Errorf("missing sum for {%s}", series)
+		}
+	}
+	// Never-observed series must be omitted, not zero-filled.
+	if strings.Contains(body, `outcome="error"`) {
+		t.Errorf("scrape carries an unobserved outcome series:\n%s", body)
+	}
+
+	// Cumulative form: bucket values along raw/ok must be non-decreasing
+	// and end at the series count.
+	last := int64(-1)
+	n := 0
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, `ipcomp_request_seconds_bucket{route="region",format="raw",outcome="ok"`) {
+			continue
+		}
+		v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bucket line %q: %v", line, err)
+		}
+		if v < last {
+			t.Fatalf("bucket counts not cumulative at %q", line)
+		}
+		last = v
+		n++
+	}
+	if n != len(latencyBuckets)+1 {
+		t.Errorf("raw/ok series has %d bucket lines, want %d", n, len(latencyBuckets)+1)
+	}
+	if last != 1 {
+		t.Errorf("final cumulative bucket = %d, want 1", last)
+	}
+
+	for _, line := range []string{
+		"\nipcomp_admission_queued_total 0\n",
+		"\nipcomp_admission_degraded_total 1\n",
+		"\nipcomp_admission_rejected_total 1\n",
+	} {
+		if !strings.Contains(body, line) {
+			t.Errorf("admission counter missing or wrong: want %q in scrape:\n%s", strings.TrimSpace(line), body)
+		}
 	}
 }
 

@@ -7,12 +7,27 @@ import (
 	"math"
 	"net/http"
 	"strconv"
-	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/store"
 	"repro/internal/wire"
 )
+
+// reqScratch is the per-request working state of the region endpoint,
+// pooled across requests so the warm raw path performs no region-sized
+// allocations: the retrieval Region (data slice plus tile scratch), the
+// coordinate slices, the streaming write buffer, and a small byte buffer
+// for header values are all recycled.
+type reqScratch struct {
+	lo, hi []int
+	reg    *store.Region
+	buf    []byte // writeRaw batch buffer
+	tmp    []byte // header-value formatting
+}
+
+var reqPool = sync.Pool{New: func() any { return new(reqScratch) }}
 
 // handleRegion serves GET /v1/datasets/{name}/region — the progressive
 // retrieval endpoint. Two response formats share one query surface:
@@ -24,6 +39,11 @@ import (
 //     compressed bitplane ranges the client is missing — with refine=
 //     <token>, only the delta beyond what the token certifies — and never
 //     decodes anything.
+//
+// Admission control (SetAdmission) applies here: requests that need
+// decode work pass through the decode semaphore, over-budget responses
+// are degraded to a coarser bound (X-Ipcomp-Degraded: true) or rejected,
+// and every outcome lands in the ipcomp_request_seconds histogram.
 func (srv *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	ds, ok := srv.lookup(name)
@@ -40,45 +60,86 @@ func (srv *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 		srv.errNotFound(w, name)
 		return
 	}
-	q := r.URL.Query()
+	start := time.Now()
+	sc := reqPool.Get().(*reqScratch)
+	format, outcome := srv.serveRegion(w, r, ds, name, sc)
+	reqPool.Put(sc)
+	srv.met.observe(format, outcome, time.Since(start))
+}
+
+// serveRegion parses the query and dispatches to the raw or planes
+// serializer, reporting the (format, outcome) pair for the latency
+// histogram.
+func (srv *Server) serveRegion(w http.ResponseWriter, r *http.Request, ds *dataset, name string, sc *reqScratch) (int, int) {
+	q := r.URL.RawQuery
+	format, err := queryParam(q, "format")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return fmtRaw, outError
+	}
+	fidx := fmtRaw
+	switch format {
+	case "", "raw":
+	case "planes":
+		fidx = fmtPlanes
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("format must be raw or planes, got %q", format))
+		return fmtRaw, outError
+	}
 	rank := len(ds.info.Shape)
-	lo, err := parseCoords(q.Get("lo"), rank)
+	loS, err := queryParam(q, "lo")
+	if err == nil {
+		sc.lo, err = parseCoordsInto(sc.lo, loS, rank)
+	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "lo: "+err.Error())
-		return
+		return fidx, outError
 	}
-	hi, err := parseCoords(q.Get("hi"), rank)
+	hiS, err := queryParam(q, "hi")
+	if err == nil {
+		sc.hi, err = parseCoordsInto(sc.hi, hiS, rank)
+	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "hi: "+err.Error())
-		return
+		return fidx, outError
 	}
+	lo, hi := sc.lo, sc.hi
 	for d := 0; d < rank; d++ {
 		if lo[d] < 0 || hi[d] > ds.info.Shape[d] || lo[d] >= hi[d] {
 			writeError(w, http.StatusBadRequest,
 				fmt.Sprintf("region [%v, %v) outside dataset shape %v", lo, hi, ds.info.Shape))
-			return
+			return fidx, outError
 		}
 	}
 	bound := 0.0
-	if s := q.Get("bound"); s != "" {
+	if s, err := queryParam(q, "bound"); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return fidx, outError
+	} else if s != "" {
 		bound, err = strconv.ParseFloat(s, 64)
 		if err != nil || bound < 0 || math.IsNaN(bound) || math.IsInf(bound, 0) {
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("bound must be a non-negative float, got %q", s))
-			return
+			return fidx, outError
 		}
 	}
-	switch q.Get("format") {
-	case "", "raw":
-		if q.Get("refine") != "" {
-			writeError(w, http.StatusBadRequest, "refine requires format=planes (raw responses carry full values)")
-			return
-		}
-		srv.serveRaw(w, ds, lo, hi, bound, q.Get("dtype"))
-	case "planes":
-		srv.servePlanes(w, ds, name, lo, hi, bound, q.Get("refine"))
-	default:
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("format must be raw or planes, got %q", q.Get("format")))
+	refine, err := queryParam(q, "refine")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return fidx, outError
 	}
+	if fidx == fmtPlanes {
+		return fmtPlanes, srv.servePlanes(w, ds, name, lo, hi, bound, refine)
+	}
+	if refine != "" {
+		writeError(w, http.StatusBadRequest, "refine requires format=planes (raw responses carry full values)")
+		return fmtRaw, outError
+	}
+	dtype, err := queryParam(q, "dtype")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return fmtRaw, outError
+	}
+	return fmtRaw, srv.serveRaw(w, r, ds, name, lo, hi, bound, dtype, sc)
 }
 
 // boundStatus maps retrieval/planning errors onto HTTP statuses.
@@ -91,54 +152,156 @@ func boundStatus(err error) (int, string) {
 
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
+// writeRetryAfter answers 429 with the admission Retry-After hint.
+func (srv *Server) writeRetryAfter(w http.ResponseWriter, msg string) {
+	srv.adm.rejected.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(int((srv.adm.opts.RetryAfter+time.Second-1)/time.Second)))
+	writeError(w, http.StatusTooManyRequests, msg)
+}
+
+// maxDegradeSteps bounds both degrade ladders: bounds double per step, so
+// 40 steps span a fidelity range of 2^40 — any cached or fitting plan
+// lives well inside it.
+const maxDegradeSteps = 40
+
 // serveRaw decodes the region server-side and streams raw values.
-func (srv *Server) serveRaw(w http.ResponseWriter, ds *dataset, lo, hi []int, bound float64, dtype string) {
+func (srv *Server) serveRaw(w http.ResponseWriter, r *http.Request, ds *dataset, name string, lo, hi []int, bound float64, dtype string, sc *reqScratch) int {
 	scalar, forced, err := parseScalar(dtype)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return outError
 	}
-	reg, err := ds.s.RetrieveRegion(ds.info.Name, lo, hi, bound)
+	if !forced {
+		scalar = ds.info.Scalar
+	}
+	n := 1
+	for d := range lo {
+		n *= hi[d] - lo[d]
+	}
+	// A raw response's size is fixed by the region and scalar — no error
+	// bound shrinks it — so an over-budget request is rejected outright:
+	// 413, not 429, because retrying the same region can never succeed.
+	size := int64(n) * int64(scalar.Bytes())
+	if max := srv.adm.opts.MaxRequestBytes; max > 0 && size > max {
+		srv.adm.rejected.Add(1)
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("raw response is %d bytes, above the %d-byte request budget; shrink the region or use format=planes", size, max))
+		return outRejected
+	}
+	acquired := false
+	ctx := r.Context()
+	reg, err := ds.s.RetrieveRegionOpts(name, lo, hi, bound, store.RetrieveOptions{
+		Reuse: sc.reg,
+		Gate: func() error {
+			if err := srv.adm.acquireDecode(ctx); err != nil {
+				return err
+			}
+			acquired = true
+			return nil
+		},
+	})
+	if acquired {
+		srv.adm.releaseDecode()
+	}
 	if err != nil {
+		if errors.Is(err, errQueueTimeout) {
+			if srv.adm.opts.Degrade {
+				return srv.degradeRaw(w, ds, name, lo, hi, bound, scalar, forced, sc)
+			}
+			srv.writeRetryAfter(w, "decode queue is full; retry shortly")
+			return outRejected
+		}
+		if ctx.Err() != nil {
+			return outError // client went away while queued
+		}
 		status, msg := boundStatus(err)
 		writeError(w, status, msg)
-		return
+		return outError
 	}
+	sc.reg = reg
+	srv.writeRawRegion(w, reg, scalar, forced, false, sc)
+	return outOK
+}
+
+// degradeRaw is the raw path's graceful degradation: the decode queue is
+// full, so walk looser bounds looking for a fidelity the tile cache can
+// answer without any decode. The first fully-warm bound is served with
+// X-Ipcomp-Degraded: true (its real fidelity is in the Guaranteed-Error
+// header, as always); if nothing is cached the request gets the 429.
+func (srv *Server) degradeRaw(w http.ResponseWriter, ds *dataset, name string, lo, hi []int, bound float64, scalar core.ScalarType, forced bool, sc *reqScratch) int {
+	b := bound
+	if b == 0 {
+		b = ds.info.ErrorBound
+	}
+	for step := 0; step < maxDegradeSteps; step++ {
+		b *= 2
+		reg, err := ds.s.RetrieveRegionOpts(name, lo, hi, b, store.RetrieveOptions{
+			Reuse: sc.reg,
+			Gate:  denyDecode,
+		})
+		if err == nil {
+			sc.reg = reg
+			srv.adm.degraded.Add(1)
+			srv.writeRawRegion(w, reg, scalar, forced, true, sc)
+			return outDegraded
+		}
+		if !errors.Is(err, errDecodeDenied) {
+			status, msg := boundStatus(err)
+			writeError(w, status, msg)
+			return outError
+		}
+	}
+	srv.writeRetryAfter(w, "decode queue is full and no cached fidelity covers the region; retry shortly")
+	return outRejected
+}
+
+// writeRawRegion emits the headers and little-endian body of a retrieved
+// region.
+func (srv *Server) writeRawRegion(w http.ResponseWriter, reg *store.Region, scalar core.ScalarType, forced, degraded bool, sc *reqScratch) {
 	if !forced {
 		scalar = reg.Scalar()
 	}
-	shape := reg.Shape()
 	n := 1
-	for _, e := range shape {
+	tmp := sc.tmp[:0]
+	lo, hi := sc.lo, sc.hi
+	for d := range lo {
+		e := hi[d] - lo[d]
 		n *= e
+		if d > 0 {
+			tmp = append(tmp, 'x')
+		}
+		tmp = strconv.AppendInt(tmp, int64(e), 10)
 	}
-	dims := make([]string, len(shape))
-	for i, e := range shape {
-		dims[i] = strconv.Itoa(e)
-	}
+	sc.tmp = tmp
 	h := w.Header()
 	h.Set("Content-Type", "application/octet-stream")
-	h.Set("Content-Length", strconv.FormatInt(int64(n*scalar.Bytes()), 10))
-	h.Set("X-Ipcomp-Shape", strings.Join(dims, "x"))
+	h.Set("Content-Length", strconv.FormatInt(int64(n)*int64(scalar.Bytes()), 10))
+	h.Set("X-Ipcomp-Shape", string(tmp))
 	h.Set("X-Ipcomp-Scalar", scalar.String())
 	h.Set("X-Ipcomp-Guaranteed-Error", formatFloat(reg.GuaranteedError()))
 	h.Set("X-Ipcomp-Loaded-Bytes", strconv.FormatInt(reg.LoadedBytes(), 10))
 	h.Set("X-Ipcomp-Chunks", strconv.Itoa(reg.Chunks()))
+	if degraded {
+		h.Set("X-Ipcomp-Degraded", "true")
+	}
 	if scalar == core.Float32 {
-		writeRaw(w, reg.DataFloat32(), 4, func(b []byte, v float32) {
-			binary.LittleEndian.PutUint32(b, math.Float32bits(v))
-		})
+		sc.buf = writeRaw(w, reg.DataFloat32(), 4, sc.buf, putF32)
 	} else {
-		writeRaw(w, reg.Data(), 8, func(b []byte, v float64) {
-			binary.LittleEndian.PutUint64(b, math.Float64bits(v))
-		})
+		sc.buf = writeRaw(w, reg.Data(), 8, sc.buf, putF64)
 	}
 }
 
-// writeRaw streams values as little-endian in fixed-size batches.
-func writeRaw[T any](w http.ResponseWriter, vals []T, width int, put func([]byte, T)) {
+func putF32(b []byte, v float32) { binary.LittleEndian.PutUint32(b, math.Float32bits(v)) }
+func putF64(b []byte, v float64) { binary.LittleEndian.PutUint64(b, math.Float64bits(v)) }
+
+// writeRaw streams values as little-endian in fixed-size batches through
+// a recycled buffer, which it returns for the caller's pool.
+func writeRaw[T any](w http.ResponseWriter, vals []T, width int, buf []byte, put func([]byte, T)) []byte {
 	const batch = 16384
-	buf := make([]byte, batch*width)
+	if cap(buf) < batch*width {
+		buf = make([]byte, batch*width)
+	}
+	buf = buf[:batch*width]
 	for len(vals) > 0 {
 		n := len(vals)
 		if n > batch {
@@ -148,26 +311,50 @@ func writeRaw[T any](w http.ResponseWriter, vals []T, width int, put func([]byte
 			put(buf[i*width:], vals[i])
 		}
 		if _, err := w.Write(buf[:n*width]); err != nil {
-			return // client went away mid-stream
+			return buf // client went away mid-stream
 		}
 		vals = vals[n:]
 	}
+	return buf
+}
+
+// planTotal sums a plan's wire size, validating every span against the
+// framing limit.
+func planTotal(rp *store.RegionPlan, rank int) (int64, error) {
+	total := wire.RegionHeaderSize(rank)
+	for i := range rp.Chunks {
+		cp := &rp.Chunks[i]
+		for _, sp := range cp.Spans {
+			// Validate before any header is written: a range beyond the
+			// u32 framing field must fail the request, not truncate.
+			if sp.Len > wire.MaxSpanLen {
+				return 0, fmt.Errorf("tile %d needs a %d-byte range, beyond the framing limit", cp.Index, sp.Len)
+			}
+		}
+		total += wire.ChunkHeaderSize(rank, len(cp.Keep))
+		total += int64(len(cp.Spans))*wire.SpanHeaderSize + cp.Bytes()
+	}
+	return total, nil
 }
 
 // servePlanes ships the compressed plane ranges of the region plan,
-// coarse level first, framed per docs/PROTOCOL.md.
-func (srv *Server) servePlanes(w http.ResponseWriter, ds *dataset, name string, lo, hi []int, bound float64, refine string) {
+// coarse level first, framed per docs/PROTOCOL.md. When the plan's wire
+// size exceeds the request byte budget, the bound is degraded — doubled
+// until the plan fits — and the response is marked X-Ipcomp-Degraded;
+// its token certifies the degraded bound, so a later refine with the
+// original bound fetches exactly the missing planes.
+func (srv *Server) servePlanes(w http.ResponseWriter, ds *dataset, name string, lo, hi []int, bound float64, refine string) int {
 	haveBound := 0.0
 	if refine != "" {
 		tok, err := decodeToken(refine)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
-			return
+			return outError
 		}
 		if !tok.matches(name, lo, hi) {
 			writeError(w, http.StatusConflict,
 				"refine token was issued for a different dataset or region; request the region fresh")
-			return
+			return outError
 		}
 		haveBound = tok.bound
 	}
@@ -175,11 +362,53 @@ func (srv *Server) servePlanes(w http.ResponseWriter, ds *dataset, name string, 
 	if err != nil {
 		if errors.Is(err, store.ErrBadRefineBase) {
 			writeError(w, http.StatusBadRequest, err.Error())
-			return
+			return outError
 		}
 		status, msg := boundStatus(err)
 		writeError(w, status, msg)
-		return
+		return outError
+	}
+	total, err := planTotal(rp, len(lo))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return outError
+	}
+	degraded := false
+	if max := srv.adm.opts.MaxRequestBytes; max > 0 && total > max {
+		if !srv.adm.opts.Degrade {
+			srv.writeRetryAfter(w,
+				fmt.Sprintf("planes response is %d bytes, above the %d-byte request budget", total, max))
+			return outRejected
+		}
+		// Degrade ladder: bounds double until the plan fits. Plan bytes
+		// shrink monotonically as the bound loosens, so the first fitting
+		// bound is the tightest the budget allows (up to ladder granularity).
+		b := rp.Bound
+		fit := false
+		for step := 0; step < maxDegradeSteps; step++ {
+			b *= 2
+			cand, err := ds.s.PlanRegion(name, lo, hi, b, haveBound)
+			if err != nil {
+				status, msg := boundStatus(err)
+				writeError(w, status, msg)
+				return outError
+			}
+			ct, err := planTotal(cand, len(lo))
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, err.Error())
+				return outError
+			}
+			if ct <= max {
+				rp, total, degraded, fit = cand, ct, true, true
+				break
+			}
+		}
+		if !fit {
+			srv.writeRetryAfter(w,
+				fmt.Sprintf("even the coarsest plan exceeds the %d-byte request budget; shrink the region", max))
+			return outRejected
+		}
+		srv.adm.degraded.Add(1)
 	}
 	// The new token certifies the tightest fidelity the client holds: a
 	// refinement to a looser bound than the token must not loosen it.
@@ -189,22 +418,6 @@ func (srv *Server) servePlanes(w http.ResponseWriter, ds *dataset, name string, 
 	}
 	tok := (&token{dataset: name, lo: lo, hi: hi, bound: newBound}).encode()
 
-	rank := len(lo)
-	total := wire.RegionHeaderSize(rank)
-	for i := range rp.Chunks {
-		cp := &rp.Chunks[i]
-		for _, sp := range cp.Spans {
-			// Validate before any header is written: a range beyond the
-			// u32 framing field must fail the request, not truncate.
-			if sp.Len > wire.MaxSpanLen {
-				writeError(w, http.StatusInternalServerError,
-					fmt.Sprintf("tile %d needs a %d-byte range, beyond the framing limit", cp.Index, sp.Len))
-				return
-			}
-		}
-		total += wire.ChunkHeaderSize(rank, len(cp.Keep))
-		total += int64(len(cp.Spans))*wire.SpanHeaderSize + cp.Bytes()
-	}
 	h := w.Header()
 	h.Set("Content-Type", "application/x-ipcomp-frames")
 	h.Set("Content-Length", strconv.FormatInt(total, 10))
@@ -212,7 +425,11 @@ func (srv *Server) servePlanes(w http.ResponseWriter, ds *dataset, name string, 
 	h.Set("X-Ipcomp-Bound", formatFloat(rp.Bound))
 	h.Set("X-Ipcomp-Guaranteed-Error", formatFloat(rp.Guaranteed))
 	h.Set("X-Ipcomp-Chunks", strconv.Itoa(len(rp.Chunks)))
+	if degraded {
+		h.Set("X-Ipcomp-Degraded", "true")
+	}
 
+	rank := len(lo)
 	if err := wire.WriteRegionHeader(w, &wire.RegionHeader{
 		Scalar:     rp.Scalar,
 		Rank:       rank,
@@ -222,7 +439,7 @@ func (srv *Server) servePlanes(w http.ResponseWriter, ds *dataset, name string, 
 		Guaranteed: rp.Guaranteed,
 		NumChunks:  len(rp.Chunks),
 	}); err != nil {
-		return
+		return outOK
 	}
 	for i := range rp.Chunks {
 		cp := &rp.Chunks[i]
@@ -234,19 +451,23 @@ func (srv *Server) servePlanes(w http.ResponseWriter, ds *dataset, name string, 
 			Keep:     cp.Keep,
 			NumSpans: len(cp.Spans),
 		}); err != nil {
-			return
+			return outOK
 		}
 		for _, sp := range cp.Spans {
 			if err := wire.WriteSpanHeader(w, wire.SpanHeader{Off: sp.Off, Len: sp.Len}); err != nil {
-				return
+				return outOK
 			}
 			payload, err := ds.s.ReadRange(cp.BlobOff+sp.Off, sp.Len)
 			if err != nil {
-				return // headers are gone; aborting the body is all we can do
+				return outOK // headers are gone; aborting the body is all we can do
 			}
 			if _, err := w.Write(payload); err != nil {
-				return
+				return outOK
 			}
 		}
 	}
+	if degraded {
+		return outDegraded
+	}
+	return outOK
 }

@@ -7,7 +7,6 @@ import (
 	"hash/fnv"
 	"net/http"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -43,6 +42,9 @@ type Server struct {
 
 	ready   atomic.Bool   // flipped by SetReady once registration is done
 	cluster *clusterState // nil outside cluster mode
+
+	adm admission      // zero value: no limits (see SetAdmission)
+	met requestMetrics // region-request latency histograms
 }
 
 // dataset routes one dataset name to its backing store.
@@ -415,23 +417,6 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v)
-}
-
-// parseCoords parses a comma-separated coordinate list of the given rank.
-func parseCoords(s string, rank int) ([]int, error) {
-	parts := strings.Split(s, ",")
-	if len(parts) != rank {
-		return nil, fmt.Errorf("want %d comma-separated coordinates, got %q", rank, s)
-	}
-	out := make([]int, rank)
-	for i, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil {
-			return nil, fmt.Errorf("coordinate %q is not an integer", p)
-		}
-		out[i] = v
-	}
-	return out, nil
 }
 
 // parseScalar maps the dtype query parameter; empty means native.

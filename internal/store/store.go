@@ -179,6 +179,19 @@ type Region struct {
 	loaded     int64
 	guaranteed float64
 	chunks     int
+	sc         regionScratch
+}
+
+// regionScratch is a retrieval's reusable working state, recycled across
+// requests via RetrieveOptions.Reuse so the warm serve path allocates
+// nothing.
+type regionScratch struct {
+	shape   []int         // hi-lo per dimension
+	chunks  []int         // linear indices of intersecting tiles
+	entries []*chunkEntry // cache entry per tile, parallel to chunks
+	cold    []int         // positions in chunks needing decode/refine
+	loaded  []int64       // per-cold-tile I/O accounting
+	worst   []float64     // per-cold-tile guaranteed bound
 }
 
 // Scalar returns the region's element type (the dataset's).
@@ -231,23 +244,46 @@ func (r *Region) GuaranteedError() float64 { return r.guaranteed }
 // Chunks reports how many tiles the query touched.
 func (r *Region) Chunks() int { return r.chunks }
 
+// RetrieveOptions tunes RetrieveRegionOpts; the zero value reproduces
+// RetrieveRegion exactly.
+type RetrieveOptions struct {
+	// Gate, when non-nil, is called once per retrieval, after the cached-
+	// tile sweep and before the first decode or refine — never for a
+	// request answered entirely from warm tiles. Returning an error aborts
+	// the retrieval with that error before any decode work. Servers use it
+	// to bound decode concurrency (admission control) while warm traffic
+	// bypasses the queue entirely.
+	Gate func() error
+	// Reuse recycles a previous retrieval's allocations (data slice,
+	// coordinate slices, per-tile scratch); the returned *Region is Reuse
+	// itself. The caller must be done with every slice that region handed
+	// out — Data()/DataFloat32() views are overwritten in place.
+	Reuse *Region
+}
+
 // RetrieveRegion reconstructs the box [lo, hi) of the named dataset with a
 // guaranteed L∞ error of at most bound (0 means full fidelity). Only the
 // chunks intersecting the region are opened; each is retrieved at the
-// requested bound concurrently, reusing and refining cached decodes. The
-// region is produced at the dataset's native scalar width.
+// requested bound, reusing and refining cached decodes. The region is
+// produced at the dataset's native scalar width.
 func (s *Store) RetrieveRegion(name string, lo, hi []int, bound float64) (*Region, error) {
+	return s.RetrieveRegionOpts(name, lo, hi, bound, RetrieveOptions{})
+}
+
+// RetrieveRegionOpts is RetrieveRegion with admission gating and region
+// reuse; see RetrieveOptions.
+func (s *Store) RetrieveRegionOpts(name string, lo, hi []int, bound float64, opts RetrieveOptions) (*Region, error) {
 	ds, ok := s.datasets[name]
 	if !ok {
 		return nil, fmt.Errorf("store: no dataset %q (have %v)", name, s.order)
 	}
 	if ds.scalar == core.Float32 {
-		return retrieveRegionAs[float32](s, ds, lo, hi, bound)
+		return retrieveRegionAs[float32](s, ds, lo, hi, bound, opts)
 	}
-	return retrieveRegionAs[float64](s, ds, lo, hi, bound)
+	return retrieveRegionAs[float64](s, ds, lo, hi, bound, opts)
 }
 
-func retrieveRegionAs[T grid.Scalar](s *Store, ds *datasetMeta, lo, hi []int, bound float64) (*Region, error) {
+func retrieveRegionAs[T grid.Scalar](s *Store, ds *datasetMeta, lo, hi []int, bound float64, opts RetrieveOptions) (*Region, error) {
 	if err := validateRegion(ds.shape, lo, hi); err != nil {
 		return nil, err
 	}
@@ -258,76 +294,142 @@ func retrieveRegionAs[T grid.Scalar](s *Store, ds *datasetMeta, lo, hi []int, bo
 		return nil, core.ErrBoundTooTight
 	}
 
-	region := &Region{
-		lo: append([]int(nil), lo...),
-		hi: append([]int(nil), hi...),
+	region := opts.Reuse
+	if region == nil {
+		region = &Region{}
 	}
-	data := make([]T, boxLen(lo, hi))
-	switch d := any(data).(type) {
-	case []float32:
-		region.data32 = d
-	case []float64:
-		region.data64 = d
+	region.lo = append(region.lo[:0], lo...)
+	region.hi = append(region.hi[:0], hi...)
+	region.loaded, region.guaranteed = 0, 0
+	lo, hi = region.lo, region.hi // detach from the caller's (possibly pooled) slices
+	data := regionData[T](region, boxLen(lo, hi))
+	sc := &region.sc
+	sc.shape = sc.shape[:0]
+	for d := range lo {
+		sc.shape = append(sc.shape, hi[d]-lo[d])
 	}
-	shape := region.Shape()
-	chunks := ds.til.intersecting(lo, hi)
-	region.chunks = len(chunks)
-	loaded := make([]int64, len(chunks))
-	guaranteed := make([]float64, len(chunks))
-	err := core.ParallelForErr(len(chunks), func(i int) error {
-		ci := chunks[i]
+	// No zeroing of reused data: the intersecting tiles jointly cover every
+	// element of the region, so each element is written exactly once below.
+	sc.chunks = ds.til.intersectingInto(sc.chunks, lo, hi)
+	region.chunks = len(sc.chunks)
+	sc.entries = sc.entries[:0]
+	sc.cold = sc.cold[:0]
+
+	// Warm sweep: serve every tile already decoded at sufficient fidelity
+	// under its read lock — no goroutines, no channel, no allocation. The
+	// copy-out happens while the entry is read-locked because a concurrent
+	// tighter query could otherwise refine the shared slice mid-copy.
+	for pos, ci := range sc.chunks {
 		rec := &ds.chunks[ci]
 		entry := s.cache.acquire(chunkKey{dataset: ds.name, chunk: ci},
 			int64(boxLen(rec.lo, rec.hi))*cachedBytesPerElem(ds.scalar))
-		clo, chi, ok := Intersect(rec.lo, rec.hi, lo, hi)
-		if !ok {
-			return fmt.Errorf("store: chunk %d does not intersect region", ci)
-		}
-		chunkShape := make([]int, len(rec.lo))
-		for d := range chunkShape {
-			chunkShape[d] = rec.hi[d] - rec.lo[d]
-		}
-		// Copy-outs happen while the entry is locked (in either mode): a
-		// concurrent tighter query could otherwise refine the shared slice
-		// mid-copy. ensureChunk verified the chunk's scalar matches the
-		// dataset's, so DataOf returns the shared native slice — no copy,
-		// no conversion.
-		copyOut := func() {
-			loaded[i] = entry.claimLoaded()
-			guaranteed[i] = entry.res.GuaranteedError()
-			CopyRegion(data, shape, lo, core.DataOf[T](entry.res), chunkShape, rec.lo, clo, chi)
-		}
-		// Fast path: the tile is already decoded at sufficient fidelity.
-		// Under the read lock any number of requests stream it at once.
+		sc.entries = append(sc.entries, entry)
 		entry.mu.RLock()
 		if entry.res != nil && entry.res.GuaranteedError() <= bound {
 			s.stats.hits.Add(1)
-			copyOut()
+			region.loaded += entry.claimLoaded()
+			if g := entry.res.GuaranteedError(); g > region.guaranteed {
+				region.guaranteed = g
+			}
+			copyChunk(data, sc.shape, lo, hi, entry.res, rec)
 			entry.mu.RUnlock()
-			return nil
+			continue
 		}
 		entry.mu.RUnlock()
-		// Slow path: take the write lock to decode or refine. Concurrent
-		// requests for the same cold tile queue here and find the work
-		// already done — one decode, N consumers.
+		sc.cold = append(sc.cold, pos)
+	}
+	if len(sc.cold) == 0 {
+		return region, nil
+	}
+
+	// At least one tile needs decode or refine work: pass through the
+	// admission gate once, then fan out over just the cold tiles.
+	if opts.Gate != nil {
+		if err := opts.Gate(); err != nil {
+			return nil, err
+		}
+	}
+	if cap(sc.loaded) < len(sc.cold) {
+		sc.loaded = make([]int64, len(sc.cold))
+		sc.worst = make([]float64, len(sc.cold))
+	}
+	loaded := sc.loaded[:len(sc.cold)]
+	worst := sc.worst[:len(sc.cold)]
+	err := core.ParallelForErr(len(sc.cold), func(k int) error {
+		pos := sc.cold[k]
+		ci := sc.chunks[pos]
+		rec := &ds.chunks[ci]
+		entry := sc.entries[pos]
+		// Concurrent requests for the same cold tile queue on the write
+		// lock and find the work already done — one decode, N consumers.
 		entry.mu.Lock()
 		defer entry.mu.Unlock()
 		if err := s.ensureChunk(entry, ds, rec, bound); err != nil {
 			return fmt.Errorf("store: dataset %q chunk %d: %w", ds.name, ci, err)
 		}
-		copyOut()
+		loaded[k] = entry.claimLoaded()
+		worst[k] = entry.res.GuaranteedError()
+		copyChunk(data, sc.shape, lo, hi, entry.res, rec)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	for i := range chunks {
-		region.loaded += loaded[i]
-		if guaranteed[i] > region.guaranteed {
-			region.guaranteed = guaranteed[i]
+	for k := range loaded {
+		region.loaded += loaded[k]
+		if worst[k] > region.guaranteed {
+			region.guaranteed = worst[k]
 		}
 	}
 	return region, nil
+}
+
+// regionData returns the region's backing slice resized to n elements of
+// the retrieval's native type, reusing prior capacity when the region is
+// recycled via RetrieveOptions.Reuse.
+func regionData[T grid.Scalar](r *Region, n int) []T {
+	if core.ScalarOf[T]() == core.Float32 {
+		if cap(r.data32) < n {
+			r.data32 = make([]float32, n)
+		}
+		r.data32 = r.data32[:n]
+		r.data64 = nil
+		return any(r.data32).([]T)
+	}
+	if cap(r.data64) < n {
+		r.data64 = make([]float64, n)
+	}
+	r.data64 = r.data64[:n]
+	r.data32 = nil
+	return any(r.data64).([]T)
+}
+
+// copyChunk copies res's overlap with the region [lo, hi) into the
+// region's backing slice without allocating. Callers hold the entry lock
+// (read or write) so a concurrent refine cannot rewrite the shared slice
+// mid-copy; ensureChunk verified the chunk's scalar matches the dataset's,
+// so DataOf returns the shared native slice — no copy, no conversion.
+func copyChunk[T grid.Scalar](dst []T, shape, lo, hi []int, res *core.Result, rec *chunkRecord) {
+	r := len(lo)
+	var cloA, chiA, cshA [maxStackRank]int
+	var clo, chi, csh []int
+	if r <= maxStackRank {
+		clo, chi, csh = cloA[:r], chiA[:r], cshA[:r]
+	} else {
+		clo, chi, csh = make([]int, r), make([]int, r), make([]int, r)
+	}
+	for d := 0; d < r; d++ {
+		clo[d] = lo[d]
+		if rec.lo[d] > clo[d] {
+			clo[d] = rec.lo[d]
+		}
+		chi[d] = hi[d]
+		if rec.hi[d] < chi[d] {
+			chi[d] = rec.hi[d]
+		}
+		csh[d] = rec.hi[d] - rec.lo[d]
+	}
+	copyRegionFast(dst, shape, lo, core.DataOf[T](res), csh, rec.lo, clo, chi)
 }
 
 // RetrieveDataset reconstructs a whole dataset at the given bound.

@@ -99,18 +99,36 @@ func (t *tiling) box(i int) (lo, hi []int) {
 	return lo, hi
 }
 
+// maxStackRank is the highest dataset rank the allocation-free serving
+// helpers cover with fixed-size stack arrays; higher ranks (which no real
+// dataset reaches) fall back to allocating the coordinate scratch.
+const maxStackRank = 8
+
 // intersecting returns the linear indices of every chunk whose box overlaps
 // the region [lo, hi), in row-major chunk order.
 func (t *tiling) intersecting(lo, hi []int) []int {
+	return t.intersectingInto(nil, lo, hi)
+}
+
+// intersectingInto is intersecting with a reusable destination slice: the
+// indices are appended to dst[:0]'s backing array, so a caller that keeps
+// the returned slice as the next call's dst performs no allocation once
+// its capacity has grown to the working-set size.
+func (t *tiling) intersectingInto(dst []int, lo, hi []int) []int {
 	r := len(t.shape)
-	c0 := make([]int, r)
-	c1 := make([]int, r) // inclusive
+	var c0a, c1a, cura [maxStackRank]int
+	var c0, c1, cur []int
+	if r <= maxStackRank {
+		c0, c1, cur = c0a[:r], c1a[:r], cura[:r]
+	} else {
+		c0, c1, cur = make([]int, r), make([]int, r), make([]int, r)
+	}
 	for d := 0; d < r; d++ {
 		c0[d] = lo[d] / t.chunk[d]
-		c1[d] = (hi[d] - 1) / t.chunk[d]
+		c1[d] = (hi[d] - 1) / t.chunk[d] // inclusive
+		cur[d] = c0[d]
 	}
-	var out []int
-	cur := append([]int(nil), c0...)
+	out := dst[:0]
 	for {
 		out = append(out, t.index(cur))
 		d := r - 1
@@ -171,6 +189,46 @@ func Intersect(alo, ahi, blo, bhi []int) (lo, hi []int, ok bool) {
 		}
 	}
 	return lo, hi, true
+}
+
+// copyRegionFast is CopyRegion without the per-call coordinate
+// allocations: strides and the iteration cursor live in stack arrays for
+// every realistic rank, which is what keeps the server's warm serve path
+// allocation-free. Semantics are identical to CopyRegion.
+func copyRegionFast[T grid.Scalar](dst []T, dstShape, dstLo []int, src []T, srcShape, srcLo []int, lo, hi []int) {
+	r := len(lo)
+	if r > maxStackRank {
+		CopyRegion(dst, dstShape, dstLo, src, srcShape, srcLo, lo, hi)
+		return
+	}
+	var dstStr, srcStr, cur [maxStackRank]int
+	ds, ss := 1, 1
+	for d := r - 1; d >= 0; d-- {
+		dstStr[d], srcStr[d] = ds, ss
+		ds *= dstShape[d]
+		ss *= srcShape[d]
+	}
+	copy(cur[:r], lo)
+	run := hi[r-1] - lo[r-1]
+	for {
+		do, so := 0, 0
+		for d := 0; d < r; d++ {
+			do += (cur[d] - dstLo[d]) * dstStr[d]
+			so += (cur[d] - srcLo[d]) * srcStr[d]
+		}
+		copy(dst[do:do+run], src[so:so+run])
+		d := r - 2
+		for ; d >= 0; d-- {
+			cur[d]++
+			if cur[d] < hi[d] {
+				break
+			}
+			cur[d] = lo[d]
+		}
+		if d < 0 {
+			return
+		}
+	}
 }
 
 // CopyRegion copies the dataset-coordinate box [lo, hi) from a source box

@@ -4,7 +4,8 @@
 # cluster routing local/forwarded/failover, storage backends
 # file/mem/http-cold/http-warm/cached-proxy, bitplane transpose
 # asm-vs-generic, per-plane codec methods, interp/quantize
-# microbenchmarks) and emit a machine-readable BENCH_<N>.json mapping
+# microbenchmarks, and the open-loop serving loadgen at base rate and 2x
+# overload) and emit a machine-readable BENCH_<N>.json mapping
 # benchmark name to ns/op, B/op and allocs/op, so the repo's perf
 # trajectory is recorded per PR. N is one past the highest existing
 # BENCH_<n>.json, so each PR's run lands in a fresh file.
@@ -34,6 +35,21 @@ run ./internal/core   'BenchmarkQuantizeLevel$'
 run ./internal/bitplane 'BenchmarkSplitRange$|BenchmarkMergeRange$'
 run ./internal/codec  'BenchmarkCodecEncodeBlock$'
 run ./internal/backend 'BenchmarkBackendMem$|BenchmarkBackendFile$|BenchmarkBackendHTTPCold$|BenchmarkBackendHTTPWarm$|BenchmarkBackendCachedProxy$'
+
+# Open-loop serving load (cmd/ipbench loadgen): the mixed workload at a
+# base rate scaled to the machine, and the same mix at 2x with admission
+# control + graceful degradation on — the overload run must finish with
+# zero client-visible errors. Latency percentiles and goodput land in
+# the JSON as Benchmark lines. The CI smoke (BENCHTIME=1x) shortens the
+# runs.
+LG_DURATION=10s
+LG_RATE=$(( 100 * $(nproc) ))
+if [ "$BENCHTIME" = "1x" ]; then LG_DURATION=3s; LG_RATE=60; fi
+go run ./cmd/ipbench loadgen -duration "$LG_DURATION" -rate "$LG_RATE" \
+  -bench -assert-zero-errors | tee -a "$tmp"
+go run ./cmd/ipbench loadgen -duration "$LG_DURATION" -rate "$LG_RATE" -overload 2 \
+  -max-decode-concurrency "$(( 2 * $(nproc) ))" -queue-timeout 2s -degrade \
+  -bench -assert-zero-errors | tee -a "$tmp"
 
 awk -v cpus="$(nproc)" '
 /^Benchmark/ {
