@@ -20,6 +20,15 @@
 //	ipcomp store extract -in c.ipcs -dataset density -bound 1e-3 -out recon.f64 [-dtype f32]
 //	ipcomp store region  -in c.ipcs -dataset density -lo 0,0,0 -hi 32,32,32 -out roi.f64 [-dtype f32]
 //
+// Content-addressed snapshot series (deduplicated time steps, see
+// docs/INGEST.md):
+//
+//	ipcomp snapshot put -cas store/ -field density -shape 64x96x96 -eb 1e-6 t0.f64
+//	ipcomp snapshot put -cas store/ -field density t1.f64
+//	ipcomp snapshot ls  -cas store/
+//	ipcomp snapshot rm  -cas store/ -name density@t0
+//	ipcomp snapshot gc  -cas store/
+//
 // retrieve opens the archive through io.ReaderAt and reads only the byte
 // ranges its loading plan selects, so the bytes-read figure it prints is a
 // faithful partial-I/O measurement.
@@ -58,6 +67,8 @@ func main() {
 		err = cmdGen(os.Args[2:])
 	case "store":
 		err = cmdStore(os.Args[2:])
+	case "snapshot":
+		err = cmdSnapshot(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -69,8 +80,9 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: ipcomp <compress|decompress|retrieve|info|gen|store> [flags]
+	fmt.Fprintln(os.Stderr, `usage: ipcomp <compress|decompress|retrieve|info|gen|store|snapshot> [flags]
 store subcommands: pack, ls, extract, region
+snapshot subcommands: put, ls, rm, gc
 run "ipcomp <subcommand> -h" for flags`)
 }
 

@@ -7,8 +7,9 @@
 //
 //	ipcompd [-listen :8080] [-cache-mb 256] [-backend-cache-mb 64] [-prefetch-kb 0]
 //	        [-max-decode-concurrency 0] [-max-request-bytes 0] [-queue-timeout 1s] [-degrade]
+//	        [-writable -cas-dir DIR [-seal-interval 10s]]
 //	        [-self NAME -peers NAME=URL,... [-replication 2] [-vnodes 64]]
-//	        <container> ...
+//	        [<container> ...]
 //
 // Each container argument is a local path or a URL: a .ipcs file, a
 // directory of containers, or an http(s) origin — another ipcompd (all of
@@ -27,6 +28,18 @@
 //	ipcompd -listen :8081 http://localhost:8080 &  # edge proxy of every origin container
 //	curl 'localhost:8081/v1/datasets'
 //	curl 'localhost:8081/v1/datasets/density/region?lo=0,0,0&hi=32,32,32&bound=1e-3' -o roi.f64
+//
+// A node started with -writable -cas-dir DIR also accepts online ingest
+// (see docs/INGEST.md): POST raw field bytes to /v1/datasets/{field} (and
+// to /v1/datasets/{field}/snapshots for later time steps) and they are
+// compressed tile-by-tile into a content-addressed snapshot store under
+// DIR, deduplicated against every earlier snapshot, and served
+// immediately as dataset field@tN:
+//
+//	ipcompd -listen :8080 -writable -cas-dir /data/cas &
+//	curl -X POST --data-binary @t0.f64 'localhost:8080/v1/datasets/density?shape=64x96x96&eb=1e-6'
+//	curl -X POST --data-binary @t1.f64 'localhost:8080/v1/datasets/density/snapshots?seal=now'
+//	curl 'localhost:8080/v1/datasets/density@t1/region?lo=0,0,0&hi=32,32,32&bound=1e-3' -o roi.f64
 //
 // Cluster mode (-self/-peers, see docs/CLUSTER.md) shards the containers
 // across a set of ipcompd peers by consistent hashing: every node gets
@@ -54,6 +67,8 @@ import (
 	"time"
 
 	"repro/internal/backend"
+	"repro/internal/cas"
+	"repro/internal/interp"
 	"repro/internal/server"
 	"repro/internal/store"
 )
@@ -71,20 +86,32 @@ func main() {
 	maxReqBytes := flag.Int64("max-request-bytes", 0, "admission: per-request response byte budget (0 = unlimited)")
 	queueTimeout := flag.Duration("queue-timeout", 0, "admission: max wait for a decode slot (0 = default 1s)")
 	degrade := flag.Bool("degrade", false, "admission: answer over-budget or queue-timed-out requests at a coarser bound (X-Ipcomp-Degraded) instead of rejecting")
+	writable := flag.Bool("writable", false, "accept snapshot writes (POST /v1/datasets/...); requires -cas-dir")
+	casDir := flag.String("cas-dir", "", "content-addressed snapshot store directory (created if missing)")
+	sealInterval := flag.Duration("seal-interval", 10*time.Second, "how often staged snapshots are sealed to disk (0 = only on write with ?seal=now and on shutdown)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ipcompd [-listen :8080] [-cache-mb 256] [-backend-cache-mb 64] [-prefetch-kb 0] [-max-decode-concurrency N] [-max-request-bytes N] [-degrade] [-self NAME -peers NAME=URL,...] <path|dir|url> ...\n")
+		fmt.Fprintf(os.Stderr, "usage: ipcompd [-listen :8080] [-cache-mb 256] [-backend-cache-mb 64] [-prefetch-kb 0] [-max-decode-concurrency N] [-max-request-bytes N] [-degrade] [-writable -cas-dir DIR] [-self NAME -peers NAME=URL,...] [<path|dir|url> ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() == 0 {
+	if flag.NArg() == 0 && !*writable {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *writable && *casDir == "" {
+		log.Fatal("-writable needs -cas-dir to store snapshots in")
+	}
+	if !*writable && *casDir != "" {
+		log.Fatal("-cas-dir requires -writable (a snapshot store has exactly one writer)")
 	}
 	if *prefetchKB > 0 && *backendCacheMB <= 0 {
 		log.Fatal("-prefetch-kb requires a span cache to land in; set -backend-cache-mb > 0")
 	}
 	if (*self == "") != (*peers == "") {
 		log.Fatal("cluster mode needs both -self and -peers")
+	}
+	if *writable && *self != "" {
+		log.Fatal("-writable is incompatible with cluster mode; run the writable node standalone")
 	}
 	cl := clusterFlags{self: *self, peers: *peers, replication: *replication, vnodes: *vnodes}
 	adm := server.AdmissionOptions{
@@ -93,9 +120,18 @@ func main() {
 		QueueTimeout:         *queueTimeout,
 		Degrade:              *degrade,
 	}
-	if err := run(*listen, *cacheMB, *backendCacheMB, *prefetchKB, cl, adm, flag.Args()); err != nil {
+	ing := ingestFlags{writable: *writable, casDir: *casDir, sealInterval: *sealInterval}
+	if err := run(*listen, *cacheMB, *backendCacheMB, *prefetchKB, cl, adm, ing, flag.Args()); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// ingestFlags carries the write-path command line; writable==false means
+// a read-only node.
+type ingestFlags struct {
+	writable     bool
+	casDir       string
+	sealInterval time.Duration
 }
 
 // clusterFlags carries the cluster-mode command line; self=="" means
@@ -233,7 +269,7 @@ func register(srv *server.Server, clustered bool, cacheMB, backendCacheMB, prefe
 	return cleanup, nil
 }
 
-func run(listen string, cacheMB, backendCacheMB, prefetchKB int64, cl clusterFlags, adm server.AdmissionOptions, specs []string) error {
+func run(listen string, cacheMB, backendCacheMB, prefetchKB int64, cl clusterFlags, adm server.AdmissionOptions, ing ingestFlags, specs []string) error {
 	srv := server.New()
 	srv.SetAdmission(adm)
 	if adm.MaxDecodeConcurrency > 0 || adm.MaxRequestBytes > 0 {
@@ -275,6 +311,32 @@ func run(listen string, cacheMB, backendCacheMB, prefetchKB int64, cl clusterFla
 	if err != nil {
 		hs.Close()
 		return err
+	}
+	if ing.writable {
+		c, err := cas.Open(ing.casDir)
+		if err != nil {
+			hs.Close()
+			return err
+		}
+		if err := srv.EnableIngest(server.IngestOptions{
+			CAS:          c,
+			SealInterval: ing.sealInterval,
+			CacheBytes:   cacheMB << 20,
+			// Cubic is the pack-time default too, so an ingested snapshot and
+			// an offline pack of the same bytes are byte-identical.
+			DefaultInterpolation: interp.Cubic,
+		}); err != nil {
+			hs.Close()
+			return err
+		}
+		defer func() {
+			if err := srv.CloseIngest(); err != nil {
+				log.Printf("final seal: %v", err)
+			}
+		}()
+		st := c.Stats()
+		log.Printf("writable: snapshot store %s (%d snapshots, %d blobs, %d bytes), seal interval %s",
+			ing.casDir, st.Snapshots, st.Blobs, st.BlobBytes, ing.sealInterval)
 	}
 	srv.SetReady()
 	log.Printf("ready")

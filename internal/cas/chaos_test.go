@@ -1,0 +1,228 @@
+package cas
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// errInjected is the fault every chaos step injects.
+var errInjected = fmt.Errorf("injected crash")
+
+// readManifestFiles snapshots the sealed manifest files (name -> bytes),
+// the bit-identity baseline the crash sweep compares against.
+func readManifestFiles(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte)
+	mdir := filepath.Join(dir, manifestsDir)
+	entries, err := os.ReadDir(mdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), manifestExt) || strings.HasSuffix(e.Name(), stagedExt) {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(mdir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = raw
+	}
+	return out
+}
+
+// TestSealCrashAtEveryStep simulates a crash at every labeled instant of
+// the seal commit protocol — before every blob write, manifest stage,
+// the journal write, every commit rename, and the cleanup — and checks,
+// after recovery by a fresh Open, the all-or-nothing contract:
+//
+//   - snapshots sealed before the crashed epoch are bit-identical
+//   - the crashed epoch is either fully recovered (all manifests of the
+//     epoch present, all blobs readable) or fully discarded (none
+//     present and the series re-puttable at the same time steps)
+//
+// The epoch under test holds two snapshots of two fields so a torn
+// commit (one manifest renamed, the other not) would be visible.
+func TestSealCrashAtEveryStep(t *testing.T) {
+	for n := 1; ; n++ {
+		dir := t.TempDir()
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// A pre-existing sealed snapshot that must survive every crash.
+		baseTiles := [][]byte{tileBytes("base-0", 80), tileBytes("base-1", 81)}
+		putSeries(t, s, "a", baseTiles)
+		if err := s.Seal(); err != nil {
+			t.Fatal(err)
+		}
+		wantManifests := readManifestFiles(t, dir)
+		wantBlobs := diskBlobs(t, dir)
+
+		// The epoch that will crash: a@t1 (sharing one blob with a@t0) and
+		// a fresh field b@t0.
+		aTiles := [][]byte{baseTiles[0], tileBytes("a1-new", 90)}
+		bTiles := [][]byte{tileBytes("b0-new", 95), tileBytes("b0-new2", 96)}
+		putSeries(t, s, "a", aTiles)
+		putSeries(t, s, "b", bTiles)
+
+		calls := 0
+		var crashedAt string
+		s.testHookSeal = func(step string) error {
+			calls++
+			if calls == n {
+				crashedAt = step
+				return errInjected
+			}
+			return nil
+		}
+		err = s.Seal()
+		if crashedAt == "" {
+			// The hook never fired: n is past the protocol's last step, the
+			// seal succeeded, and the sweep is complete.
+			if err != nil {
+				t.Fatalf("fault-free seal failed: %v", err)
+			}
+			if n < 5 {
+				t.Fatalf("protocol ran only %d steps; the sweep tested nothing", n-1)
+			}
+			return
+		}
+		if err == nil {
+			t.Fatalf("n=%d: seal succeeded despite the injected crash at %q", n, crashedAt)
+		}
+
+		// "Crash": abandon s, recover from disk alone.
+		r, err := Open(dir)
+		if err != nil {
+			t.Fatalf("n=%d (%s): recovery Open: %v", n, crashedAt, err)
+		}
+
+		// Prior sealed state must be bit-identical.
+		gotManifests := readManifestFiles(t, dir)
+		for name, want := range wantManifests {
+			if !bytes.Equal(gotManifests[name], want) {
+				t.Fatalf("n=%d (%s): sealed manifest %s changed across the crash", n, crashedAt, name)
+			}
+		}
+		for name, want := range wantBlobs {
+			score, err := ParseScore(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := r.ReadBlob(score)
+			if err != nil || !bytes.Equal(got, want) {
+				t.Fatalf("n=%d (%s): sealed blob %s unreadable after the crash: %v", n, crashedAt, name, err)
+			}
+		}
+
+		// The crashed epoch: all or nothing.
+		_, haveA1 := r.Manifest("a", 1)
+		_, haveB0 := r.Manifest("b", 0)
+		if haveA1 != haveB0 {
+			t.Fatalf("n=%d (%s): torn epoch after recovery: a@t1=%v b@t0=%v", n, crashedAt, haveA1, haveB0)
+		}
+		if haveA1 {
+			for i, want := range [][]byte{aTiles[0], aTiles[1], bTiles[0], bTiles[1]} {
+				got, err := r.ReadBlob(ScoreOf(want))
+				if err != nil || !bytes.Equal(got, want) {
+					t.Fatalf("n=%d (%s): recovered epoch blob %d unreadable: %v", n, crashedAt, i, err)
+				}
+			}
+			if nt := r.NextT("a"); nt != 2 {
+				t.Fatalf("n=%d (%s): NextT(a)=%d after roll-forward, want 2", n, crashedAt, nt)
+			}
+		} else {
+			// Discarded: no staged leftovers, the series continues where the
+			// sealed state left it, and re-putting the epoch succeeds.
+			if nt := r.NextT("a"); nt != 1 {
+				t.Fatalf("n=%d (%s): NextT(a)=%d after discard, want 1", n, crashedAt, nt)
+			}
+			entries, err := os.ReadDir(filepath.Join(dir, manifestsDir))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range entries {
+				if strings.HasSuffix(e.Name(), stagedExt) || e.Name() == journalName {
+					t.Fatalf("n=%d (%s): recovery left %s behind", n, crashedAt, e.Name())
+				}
+			}
+			putSeries(t, r, "a", aTiles)
+			putSeries(t, r, "b", bTiles)
+			if err := r.Seal(); err != nil {
+				t.Fatalf("n=%d (%s): re-seal after discard: %v", n, crashedAt, err)
+			}
+			if _, ok := r.Manifest("b", 0); !ok {
+				t.Fatalf("n=%d (%s): re-put epoch missing after re-seal", n, crashedAt)
+			}
+		}
+
+		// Orphan blobs from the discarded half-seal are GC-able garbage;
+		// a sweep must never touch referenced blobs.
+		if _, err := r.GC(); err != nil {
+			t.Fatalf("n=%d (%s): GC after recovery: %v", n, crashedAt, err)
+		}
+		m0, _ := r.Manifest("a", 0)
+		for i := range m0.Tiles {
+			if _, err := r.ReadBlob(m0.Tiles[i].Score); err != nil {
+				t.Fatalf("n=%d (%s): GC removed a referenced blob: %v", n, crashedAt, err)
+			}
+		}
+
+		if n > 64 {
+			t.Fatal("crash sweep did not terminate; the step hook is broken")
+		}
+	}
+}
+
+// TestRecoverRollsForwardJournaledEpoch pins the commit point directly: a
+// journal plus staged manifests on disk (the state between steps 3 and 4)
+// must recover to fully sealed snapshots.
+func TestRecoverRollsForwardJournaledEpoch(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiles := [][]byte{tileBytes("j", 44)}
+	putSeries(t, s, "f", tiles)
+	// Crash between journal write and the commit renames.
+	calls := 0
+	s.testHookSeal = func(step string) error {
+		if step == "commit" {
+			calls++
+			return errInjected
+		}
+		return nil
+	}
+	if err := s.Seal(); err == nil {
+		t.Fatal("seal succeeded despite the commit-step crash")
+	}
+	if calls != 1 {
+		t.Fatalf("commit step ran %d times, want 1", calls)
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestsDir, journalName)); err != nil {
+		t.Fatalf("journal missing in the crash state: %v", err)
+	}
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := r.Manifest("f", 0)
+	if !ok {
+		t.Fatal("journaled epoch not rolled forward")
+	}
+	got, err := r.ReadBlob(m.Tiles[0].Score)
+	if err != nil || !bytes.Equal(got, tiles[0]) {
+		t.Fatalf("rolled-forward blob: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestsDir, journalName)); !os.IsNotExist(err) {
+		t.Fatal("journal not removed by recovery")
+	}
+}

@@ -63,39 +63,49 @@ var formatNames = [numFormats]string{"raw", "planes"}
 var outcomeNames = [numOutcomes]string{"ok", "degraded", "rejected", "error"}
 
 // requestMetrics is the per-server request instrumentation: one histogram
-// per (format, outcome) pair.
+// per (format, outcome) pair for the region read path, one per outcome
+// for the ingest write path.
 type requestMetrics struct {
 	region [numFormats][numOutcomes]histogram
+	ingest [numOutcomes]histogram
 }
 
 func (m *requestMetrics) observe(format, outcome int, d time.Duration) {
 	m.region[format][outcome].observe(d)
 }
 
+func (m *requestMetrics) observeIngest(outcome int, d time.Duration) {
+	m.ingest[outcome].observe(d)
+}
+
 // render writes the ipcomp_request_seconds family in exposition format.
 // Series never observed are omitted, so an idle server's scrape stays
 // small; Prometheus treats absent series as zero.
 func (m *requestMetrics) render(b *strings.Builder) {
-	fmt.Fprintf(b, "# HELP ipcomp_request_seconds Region request latency by response format and outcome.\n")
+	fmt.Fprintf(b, "# HELP ipcomp_request_seconds Request latency by route, response format, and outcome.\n")
 	fmt.Fprintf(b, "# TYPE ipcomp_request_seconds histogram\n")
+	series := func(h *histogram, labels string) {
+		count := h.count.Load()
+		if count == 0 {
+			return
+		}
+		cum := int64(0)
+		for i := range latencyBuckets {
+			cum += h.buckets[i].Load()
+			fmt.Fprintf(b, "ipcomp_request_seconds_bucket{%s,le=%q} %d\n",
+				labels, strconv.FormatFloat(latencyBuckets[i], 'g', -1, 64), cum)
+		}
+		fmt.Fprintf(b, "ipcomp_request_seconds_bucket{%s,le=\"+Inf\"} %d\n", labels, cum+h.over.Load())
+		fmt.Fprintf(b, "ipcomp_request_seconds_sum{%s} %g\n", labels,
+			float64(h.sumNanos.Load())/float64(time.Second))
+		fmt.Fprintf(b, "ipcomp_request_seconds_count{%s} %d\n", labels, count)
+	}
 	for f := 0; f < numFormats; f++ {
 		for o := 0; o < numOutcomes; o++ {
-			h := &m.region[f][o]
-			count := h.count.Load()
-			if count == 0 {
-				continue
-			}
-			labels := `route="region",format="` + formatNames[f] + `",outcome="` + outcomeNames[o] + `"`
-			cum := int64(0)
-			for i := range latencyBuckets {
-				cum += h.buckets[i].Load()
-				fmt.Fprintf(b, "ipcomp_request_seconds_bucket{%s,le=%q} %d\n",
-					labels, strconv.FormatFloat(latencyBuckets[i], 'g', -1, 64), cum)
-			}
-			fmt.Fprintf(b, "ipcomp_request_seconds_bucket{%s,le=\"+Inf\"} %d\n", labels, cum+h.over.Load())
-			fmt.Fprintf(b, "ipcomp_request_seconds_sum{%s} %g\n", labels,
-				float64(h.sumNanos.Load())/float64(time.Second))
-			fmt.Fprintf(b, "ipcomp_request_seconds_count{%s} %d\n", labels, count)
+			series(&m.region[f][o], `route="region",format="`+formatNames[f]+`",outcome="`+outcomeNames[o]+`"`)
 		}
+	}
+	for o := 0; o < numOutcomes; o++ {
+		series(&m.ingest[o], `route="ingest",outcome="`+outcomeNames[o]+`"`)
 	}
 }

@@ -1,0 +1,522 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cas"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/interp"
+	"repro/internal/store"
+)
+
+// Online ingest: the write path. POST /v1/datasets/{field} creates a
+// field's first snapshot from raw little-endian bytes; POST
+// /v1/datasets/{field}/snapshots appends the next time step. Either way
+// the body is compressed tile-by-tile through the same engine offline
+// packing uses, staged in the CAS's open epoch (readable immediately as
+// dataset field@tN), and sealed to disk by the seal ticker, an explicit
+// ?seal=now, or shutdown. Unchanged tiles deduplicate against every
+// earlier snapshot by content address, so a checkpoint stream costs only
+// its deltas.
+
+// IngestOptions configures EnableIngest.
+type IngestOptions struct {
+	// CAS is the content-addressed store snapshots land in (required).
+	CAS *cas.Store
+	// SealInterval is how often the open epoch is flushed to disk;
+	// 0 disables the ticker (seals happen only via ?seal=now and Close).
+	SealInterval time.Duration
+	// CacheBytes is the decoded-tile cache budget given to each snapshot's
+	// store; 0 keeps the store default.
+	CacheBytes int64
+	// DefaultInterpolation and DefaultCodec apply when a request does not
+	// name them.
+	DefaultInterpolation interp.Kind
+	DefaultCodec         codec.Policy
+}
+
+// ingestState is the server's write-path runtime.
+type ingestState struct {
+	opts IngestOptions
+	mu   sync.Mutex // serializes put+register and seal
+	stop chan struct{}
+	done chan struct{}
+
+	puts      int64 // guarded by mu
+	seals     int64
+	sealErrs  int64
+	lastError string
+}
+
+// EnableIngest turns the write path on: existing CAS snapshots register
+// as served datasets, the seal ticker starts, and the POST endpoints
+// begin accepting bodies. Incompatible with cluster mode (snapshot
+// placement across peers is future work; a writable node must own what
+// it writes).
+func (srv *Server) EnableIngest(opts IngestOptions) error {
+	if opts.CAS == nil {
+		return fmt.Errorf("server: EnableIngest requires a CAS store")
+	}
+	if srv.cluster != nil {
+		return fmt.Errorf("server: ingest is incompatible with cluster mode; run the writable node standalone")
+	}
+	if srv.ingest != nil {
+		return fmt.Errorf("server: ingest already enabled")
+	}
+	ing := &ingestState{opts: opts, stop: make(chan struct{}), done: make(chan struct{})}
+	for _, sn := range opts.CAS.Snapshots() {
+		s, err := store.OpenSnapshot(opts.CAS, sn.Field, sn.T)
+		if err != nil {
+			return fmt.Errorf("server: opening snapshot %s: %w", sn.Name, err)
+		}
+		if opts.CacheBytes > 0 {
+			s.SetCacheBytes(opts.CacheBytes)
+		}
+		if err := srv.AddStore(sn.Name, s); err != nil {
+			return err
+		}
+	}
+	srv.mu.Lock()
+	srv.ingest = ing
+	srv.mu.Unlock()
+	go ing.run()
+	return nil
+}
+
+// run is the seal ticker loop.
+func (ing *ingestState) run() {
+	defer close(ing.done)
+	if ing.opts.SealInterval <= 0 {
+		<-ing.stop
+		return
+	}
+	t := time.NewTicker(ing.opts.SealInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			ing.seal()
+		case <-ing.stop:
+			return
+		}
+	}
+}
+
+// seal flushes the open epoch, recording failures for /v1/stats (a seal
+// that cannot reach disk must not crash the serve path — the epoch stays
+// open and readable, and the next tick retries).
+func (ing *ingestState) seal() error {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	err := ing.opts.CAS.Seal()
+	if err != nil {
+		ing.sealErrs++
+		ing.lastError = err.Error()
+		return err
+	}
+	ing.seals++
+	return nil
+}
+
+// SealIngest flushes the open epoch now. No-op without ingest.
+func (srv *Server) SealIngest() error {
+	srv.mu.RLock()
+	ing := srv.ingest
+	srv.mu.RUnlock()
+	if ing == nil {
+		return nil
+	}
+	return ing.seal()
+}
+
+// CloseIngest stops the seal ticker and performs a final seal, making
+// every accepted snapshot durable. Safe to call more than once.
+func (srv *Server) CloseIngest() error {
+	srv.mu.RLock()
+	ing := srv.ingest
+	srv.mu.RUnlock()
+	if ing == nil {
+		return nil
+	}
+	select {
+	case <-ing.stop:
+	default:
+		close(ing.stop)
+	}
+	<-ing.done
+	return ing.seal()
+}
+
+// resolveLatest maps a bare field name to its latest snapshot's dataset
+// name, so GETs for "field" answer with "field@tN". Callers hold no
+// locks.
+func (srv *Server) resolveLatest(name string) (string, bool) {
+	srv.mu.RLock()
+	ing := srv.ingest
+	srv.mu.RUnlock()
+	if ing == nil {
+		return "", false
+	}
+	t, ok := ing.opts.CAS.Latest(name)
+	if !ok {
+		return "", false
+	}
+	return cas.SnapshotName(name, t), true
+}
+
+// ingestDoc is the /v1/stats "ingest" section.
+type ingestDoc struct {
+	Fields         int    `json:"fields"`
+	Snapshots      int    `json:"snapshots"`
+	Blobs          int    `json:"blobs"`
+	BlobBytes      int64  `json:"blob_bytes"`
+	EpochSnapshots int    `json:"epoch_snapshots"`
+	EpochBlobs     int    `json:"epoch_blobs"`
+	EpochBytes     int64  `json:"epoch_bytes"`
+	Puts           int64  `json:"puts"`
+	Seals          int64  `json:"seals"`
+	SealErrors     int64  `json:"seal_errors"`
+	LastError      string `json:"last_error,omitempty"`
+}
+
+func (srv *Server) ingestDoc() *ingestDoc {
+	srv.mu.RLock()
+	ing := srv.ingest
+	srv.mu.RUnlock()
+	if ing == nil {
+		return nil
+	}
+	st := ing.opts.CAS.Stats()
+	ing.mu.Lock()
+	doc := &ingestDoc{
+		Fields: st.Fields, Snapshots: st.Snapshots, Blobs: st.Blobs, BlobBytes: st.BlobBytes,
+		EpochSnapshots: st.EpochSnapshots, EpochBlobs: st.EpochBlobs, EpochBytes: st.EpochBytes,
+		Puts: ing.puts, Seals: ing.seals, SealErrors: ing.sealErrs, LastError: ing.lastError,
+	}
+	ing.mu.Unlock()
+	return doc
+}
+
+// handleIngest serves both write endpoints; snapshots reports which.
+func (srv *Server) handleIngest(w http.ResponseWriter, r *http.Request, snapshots bool) {
+	start := time.Now()
+	outcome := srv.serveIngest(w, r, snapshots)
+	srv.met.observeIngest(outcome, time.Since(start))
+}
+
+// ingestParams is the parsed query surface of a write.
+type ingestParams struct {
+	shape   grid.Shape
+	chunk   grid.Shape
+	scalar  core.ScalarType
+	eb      float64
+	rel     bool
+	interp  interp.Kind
+	codec   codec.Policy
+	sealNow bool
+}
+
+// parseIngestParams validates the query of a write request. create
+// requires shape and eb; snapshot appends inherit any omitted geometry
+// from the field's previous manifest (prev non-nil).
+func (srv *Server) parseIngestParams(r *http.Request, prev *cas.Manifest, opts IngestOptions) (*ingestParams, error) {
+	q := r.URL.Query()
+	p := &ingestParams{
+		scalar: core.Float64,
+		eb:     0,
+		interp: opts.DefaultInterpolation,
+		codec:  opts.DefaultCodec,
+	}
+	if s := q.Get("shape"); s != "" {
+		shape, err := parseShapeParam(s)
+		if err != nil {
+			return nil, fmt.Errorf("shape: %w", err)
+		}
+		p.shape = shape
+	}
+	if s := q.Get("chunk"); s != "" {
+		chunk, err := parseShapeParam(s)
+		if err != nil {
+			return nil, fmt.Errorf("chunk: %w", err)
+		}
+		p.chunk = chunk
+	}
+	if s := q.Get("dtype"); s != "" {
+		scalar, _, err := parseScalar(s)
+		if err != nil {
+			return nil, err
+		}
+		p.scalar = scalar
+	} else if prev != nil {
+		p.scalar = core.ScalarType(prev.Scalar)
+	}
+	if s := q.Get("eb"); s != "" {
+		eb, err := strconv.ParseFloat(s, 64)
+		if err != nil || !(eb > 0) || math.IsInf(eb, 0) {
+			return nil, fmt.Errorf("eb must be a positive finite float, got %q", s)
+		}
+		p.eb = eb
+	} else if prev != nil {
+		p.eb = prev.ErrorBound
+	}
+	if s := q.Get("rel"); s != "" {
+		rel, err := strconv.ParseBool(s)
+		if err != nil {
+			return nil, fmt.Errorf("rel must be a boolean, got %q", s)
+		}
+		p.rel = rel
+	}
+	if s := q.Get("interp"); s != "" {
+		switch s {
+		case "linear":
+			p.interp = interp.Linear
+		case "cubic":
+			p.interp = interp.Cubic
+		default:
+			return nil, fmt.Errorf("interp must be linear or cubic, got %q", s)
+		}
+	}
+	if s := q.Get("codec"); s != "" {
+		pol, err := codec.ParsePolicy(s)
+		if err != nil {
+			return nil, err
+		}
+		p.codec = pol
+	}
+	if s := q.Get("seal"); s != "" {
+		if s != "now" {
+			return nil, fmt.Errorf("seal must be \"now\", got %q", s)
+		}
+		p.sealNow = true
+	}
+
+	if prev != nil {
+		// Appends inherit geometry; explicit values must agree — a shape
+		// change mid-series is a different field, not a snapshot.
+		if p.shape == nil {
+			p.shape = append(grid.Shape(nil), prev.Shape...)
+		} else if !p.shape.Equal(prev.Shape) {
+			return nil, fmt.Errorf("shape %v does not match the series shape %v", []int(p.shape), prev.Shape)
+		}
+		if p.chunk == nil {
+			p.chunk = append(grid.Shape(nil), prev.Chunk...)
+		} else if !p.chunk.Equal(prev.Chunk) {
+			return nil, fmt.Errorf("chunk %v does not match the series tiling %v (changing it would defeat dedup)", []int(p.chunk), prev.Chunk)
+		}
+		if p.scalar != core.ScalarType(prev.Scalar) {
+			return nil, fmt.Errorf("dtype %s does not match the series dtype %s", p.scalar, core.ScalarType(prev.Scalar))
+		}
+	}
+	if p.shape == nil {
+		return nil, fmt.Errorf("shape is required (e.g. shape=64x64x64)")
+	}
+	if err := p.shape.Validate(); err != nil {
+		return nil, err
+	}
+	if p.eb == 0 {
+		return nil, fmt.Errorf("eb is required (the absolute error bound, e.g. eb=1e-6)")
+	}
+	return p, nil
+}
+
+// parseShapeParam parses "64x96x96".
+func parseShapeParam(s string) (grid.Shape, error) {
+	var out grid.Shape
+	for _, part := range strings.Split(s, "x") {
+		v, err := strconv.Atoi(part)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad extents %q (want e.g. 64x96x96)", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// serveIngest is the write handler body; it returns the outcome label
+// for the latency histogram.
+func (srv *Server) serveIngest(w http.ResponseWriter, r *http.Request, snapshots bool) int {
+	srv.mu.RLock()
+	ing := srv.ingest
+	srv.mu.RUnlock()
+	if ing == nil {
+		writeError(w, http.StatusForbidden, "server is read-only; start ipcompd with -writable to accept snapshots")
+		return outError
+	}
+	field := r.PathValue("name")
+	if err := cas.ValidateField(field); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return outError
+	}
+	c := ing.opts.CAS
+	var prev *cas.Manifest
+	latest, exists := c.Latest(field)
+	if snapshots {
+		if !exists {
+			writeError(w, http.StatusNotFound,
+				fmt.Sprintf("no field %q to snapshot; create it first with POST /v1/datasets/%s", field, field))
+			return outError
+		}
+		prev, _ = c.Manifest(field, latest)
+		if prev == nil {
+			writeError(w, http.StatusInternalServerError, fmt.Sprintf("field %q has no manifest at t%d", field, latest))
+			return outError
+		}
+	} else if exists {
+		writeError(w, http.StatusConflict,
+			fmt.Sprintf("field %q already exists at t%d; append with POST /v1/datasets/%s/snapshots", field, latest, field))
+		return outError
+	}
+	// A packed container could already serve this name (or the snapshot
+	// name): refuse up front rather than failing half-registered.
+	if _, taken := srv.lookup(field); taken && !exists {
+		writeError(w, http.StatusConflict, fmt.Sprintf("dataset %q is already served by a packed container", field))
+		return outError
+	}
+	p, err := srv.parseIngestParams(r, prev, ing.opts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return outError
+	}
+
+	width := p.scalar.Bytes()
+	elems := p.shape.Len()
+	want := int64(elems) * int64(width)
+	if max := srv.adm.opts.MaxRequestBytes; max > 0 && want > max {
+		srv.adm.rejected.Add(1)
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("snapshot body is %d bytes, above the %d-byte request budget", want, max))
+		return outRejected
+	}
+	// Read exactly the expected bytes (+ a small margin so an oversized
+	// body is diagnosed, not silently truncated).
+	body, err := io.ReadAll(io.LimitReader(r.Body, want+int64(width)))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading request body: %v", err))
+		return outError
+	}
+	// The same contract as the CLI's raw readers: a payload that is not a
+	// whole number of elements is rejected, never truncated.
+	if rem := len(body) % width; rem != 0 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("request body of %d bytes is not a whole number of %d-byte %s elements (%d trailing bytes)",
+				len(body), width, p.scalar, rem))
+		return outError
+	}
+	if int64(len(body)) != want {
+		verb := "has only"
+		if int64(len(body)) > want {
+			verb = "has more than"
+		}
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("shape %v needs %d %s elements (%d bytes); request body %s %d elements",
+				[]int(p.shape), elems, p.scalar, want, verb, len(body)/width))
+		return outError
+	}
+
+	// Compression is the expensive part of a write — it shares the decode
+	// semaphore with cold reads so a snapshot stampede degrades smoothly
+	// (writes queue, warm reads keep flowing). Writes have no coarser
+	// fidelity to degrade to, so a queue timeout is a straight 429.
+	if err := srv.adm.acquireDecode(r.Context()); err != nil {
+		if errors.Is(err, errQueueTimeout) {
+			srv.writeRetryAfter(w, "decode queue is full; retry the snapshot shortly")
+			return outRejected
+		}
+		return outError // client went away while queued
+	}
+	defer srv.adm.releaseDecode()
+
+	opt := store.WriteOptions{
+		ErrorBound:    p.eb,
+		Interpolation: p.interp,
+		ChunkShape:    p.chunk,
+		Codec:         p.codec,
+	}
+	ing.mu.Lock()
+	m, st, err := packBody(c, field, body, p, opt)
+	if err != nil {
+		ing.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return outError
+	}
+	s, err := store.OpenSnapshot(c, m.Field, m.T)
+	if err == nil {
+		if ing.opts.CacheBytes > 0 {
+			s.SetCacheBytes(ing.opts.CacheBytes)
+		}
+		err = srv.AddStore(m.Name(), s)
+	}
+	if err == nil {
+		ing.puts++
+	}
+	ing.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("snapshot staged but not registered: %v", err))
+		return outError
+	}
+	sealed := false
+	if p.sealNow {
+		if err := ing.seal(); err != nil {
+			writeError(w, http.StatusInternalServerError, fmt.Sprintf("snapshot accepted but seal failed: %v", err))
+			return outError
+		}
+		sealed = true
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"dataset":          m.Name(),
+		"field":            m.Field,
+		"t":                m.T,
+		"shape":            m.Shape,
+		"dtype":            core.ScalarType(m.Scalar).String(),
+		"error_bound":      m.ErrorBound,
+		"tiles":            len(m.Tiles),
+		"compressed_bytes": m.Bytes(),
+		"new_blobs":        st.NewBlobs,
+		"new_bytes":        st.NewBytes,
+		"dedup_blobs":      st.DedupBlobs,
+		"dedup_bytes":      st.DedupBytes,
+		"sealed":           sealed,
+	})
+	return outOK
+}
+
+// packBody decodes the validated raw bytes at the request's width and
+// stages the snapshot.
+func packBody(c *cas.Store, field string, body []byte, p *ingestParams, opt store.WriteOptions) (*cas.Manifest, cas.PutStats, error) {
+	if p.scalar == core.Float32 {
+		data := make([]float32, len(body)/4)
+		for i := range data {
+			data[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[i*4:]))
+		}
+		return packGrid(c, field, data, p, opt)
+	}
+	data := make([]float64, len(body)/8)
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[i*8:]))
+	}
+	return packGrid(c, field, data, p, opt)
+}
+
+func packGrid[T grid.Scalar](c *cas.Store, field string, data []T, p *ingestParams, opt store.WriteOptions) (*cas.Manifest, cas.PutStats, error) {
+	g, err := grid.FromSlice(data, p.shape)
+	if err != nil {
+		return nil, cas.PutStats{}, err
+	}
+	if p.rel {
+		if r := g.ValueRange(); r > 0 {
+			opt.ErrorBound *= r
+		}
+	}
+	return store.PackSnapshot(c, field, g, opt)
+}

@@ -60,6 +60,9 @@ func (srv *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 		srv.errNotFound(w, name)
 		return
 	}
+	// The request may have used the bare-field alias; the store only
+	// knows the canonical snapshot name.
+	name = ds.info.Name
 	start := time.Now()
 	sc := reqPool.Get().(*reqScratch)
 	format, outcome := srv.serveRegion(w, r, ds, name, sc)

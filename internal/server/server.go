@@ -42,6 +42,7 @@ type Server struct {
 
 	ready   atomic.Bool   // flipped by SetReady once registration is done
 	cluster *clusterState // nil outside cluster mode
+	ingest  *ingestState  // nil unless EnableIngest ran (see ingest.go)
 
 	adm admission      // zero value: no limits (see SetAdmission)
 	met requestMetrics // region-request latency histograms
@@ -154,11 +155,20 @@ func (srv *Server) AddStore(name string, s *store.Store) error {
 // answers the whole time.
 func (srv *Server) SetReady() { srv.ready.Store(true) }
 
-// lookup resolves a locally-served dataset.
+// lookup resolves a locally-served dataset. On a writable node a bare
+// field name is an alias for its latest snapshot, so clients can GET
+// /v1/datasets/temperature without tracking the time step.
 func (srv *Server) lookup(name string) (*dataset, bool) {
 	srv.mu.RLock()
-	defer srv.mu.RUnlock()
 	ds, ok := srv.datasets[name]
+	srv.mu.RUnlock()
+	if !ok {
+		if alias, found := srv.resolveLatest(name); found {
+			srv.mu.RLock()
+			ds, ok = srv.datasets[alias]
+			srv.mu.RUnlock()
+		}
+	}
 	return ds, ok
 }
 
@@ -181,6 +191,8 @@ func (srv *Server) lookupContainer(name string) (*servedContainer, bool) {
 //	GET /v1/datasets/{name}/region   progressive region retrieval
 //	GET /v1/containers               list served containers (name, size)
 //	GET /v1/containers/{name}        raw container bytes, Range-capable
+//	POST /v1/datasets/{name}           create a field from raw bytes (writable nodes)
+//	POST /v1/datasets/{name}/snapshots append the field's next snapshot
 //
 // In cluster mode the dataset and container endpoints transparently
 // forward requests for peer-owned containers (see cluster.go); the
@@ -198,6 +210,12 @@ func (srv *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/datasets/{name}/region", srv.handleRegion)
 	mux.HandleFunc("GET /v1/containers", srv.handleContainers)
 	mux.HandleFunc("GET /v1/containers/{name}", srv.handleContainer)
+	mux.HandleFunc("POST /v1/datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
+		srv.handleIngest(w, r, false)
+	})
+	mux.HandleFunc("POST /v1/datasets/{name}/snapshots", func(w http.ResponseWriter, r *http.Request) {
+		srv.handleIngest(w, r, true)
+	})
 	return mux
 }
 
@@ -316,6 +334,8 @@ type StatsDoc struct {
 	// plane blocks for requests; methods never touched are omitted.
 	Codec   []codec.MethodStat `json:"codec,omitempty"`
 	Cluster *ClusterDoc        `json:"cluster,omitempty"`
+	// Ingest reports the write path's CAS accounting on writable nodes.
+	Ingest *ingestDoc `json:"ingest,omitempty"`
 }
 
 // statsDoc gathers the counter snapshot handleStats and handleMetrics
@@ -350,6 +370,7 @@ func (srv *Server) statsDoc() StatsDoc {
 	if srv.cluster != nil {
 		doc.Cluster = srv.cluster.doc()
 	}
+	doc.Ingest = srv.ingestDoc()
 	return doc
 }
 

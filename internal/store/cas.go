@@ -1,0 +1,236 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/backend"
+	"repro/internal/cas"
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+// CAS-backed containers: a cas.Manifest plus the blobs it references are
+// exactly the information a container index carries, so a snapshot can be
+// presented as a well-formed, read-only container — preamble, tile blobs
+// at synthetic offsets, index, footer — behind io.ReaderAt, with the blob
+// byte ranges resolved through the CAS (score-verified on first touch)
+// and the framing bytes synthesized in memory. Everything above
+// io.ReaderAt (region retrieval, progressive planes planning, raw
+// re-export, edge proxying) then serves snapshots with zero new code.
+
+// PackSnapshot compresses a field's grid tile-by-tile (the same engine
+// and geometry as Writer.Add) and stages it in the CAS as the field's
+// next snapshot. The returned manifest is the staged snapshot's; stats
+// report how many blobs were new versus deduplicated against earlier
+// snapshots.
+func PackSnapshot[T grid.Scalar](c *cas.Store, field string, g *grid.Grid[T], opt WriteOptions) (*cas.Manifest, cas.PutStats, error) {
+	if err := cas.ValidateField(field); err != nil {
+		return nil, cas.PutStats{}, err
+	}
+	til, blobs, err := compressTiles(field, g, opt)
+	if err != nil {
+		return nil, cas.PutStats{}, err
+	}
+	m := &cas.Manifest{
+		Field:      field,
+		T:          c.NextT(field),
+		Shape:      append([]int(nil), til.shape...),
+		Chunk:      append([]int(nil), til.chunk...),
+		Scalar:     uint8(core.ScalarOf[T]()),
+		ErrorBound: opt.ErrorBound,
+	}
+	st, err := c.Put(m, blobs)
+	if err != nil {
+		return nil, st, err
+	}
+	return m, st, nil
+}
+
+// snapshotReaderAt presents one snapshot as a container image: head
+// (preamble) and tail (index+footer) bytes synthesized once, tile blob
+// ranges read through the CAS on demand.
+type snapshotReaderAt struct {
+	c    *cas.Store
+	m    *cas.Manifest
+	head []byte  // the preamble, at offset 0
+	tail []byte  // index+footer, at tailOff
+	offs []int64 // per-tile start offset, ascending; len == len(m.Tiles)
+	size int64
+}
+
+// snapshotContainer synthesizes the container image of a snapshot.
+func snapshotContainer(c *cas.Store, m *cas.Manifest) (*snapshotReaderAt, error) {
+	scalar := core.ScalarType(m.Scalar)
+	if scalar != core.Float64 && scalar != core.Float32 {
+		return nil, fmt.Errorf("store: snapshot %s has unknown scalar type %d", m.Name(), m.Scalar)
+	}
+	til, err := newTiling(m.Shape, m.Chunk)
+	if err != nil {
+		return nil, err
+	}
+	if til.n != len(m.Tiles) {
+		return nil, fmt.Errorf("store: snapshot %s has %d tiles, tiling implies %d", m.Name(), len(m.Tiles), til.n)
+	}
+	ds := &datasetMeta{
+		name:   m.Name(),
+		shape:  append(grid.Shape(nil), m.Shape...),
+		chunk:  append(grid.Shape(nil), m.Chunk...),
+		scalar: scalar,
+		eb:     m.ErrorBound,
+		til:    til,
+		chunks: make([]chunkRecord, til.n),
+	}
+	r := &snapshotReaderAt{c: c, m: m, head: marshalPreamble(), offs: make([]int64, til.n)}
+	off := int64(preambleSize)
+	for i := range m.Tiles {
+		lo, hi := til.box(i)
+		r.offs[i] = off
+		ds.chunks[i] = chunkRecord{off: off, size: m.Tiles[i].Size, lo: lo, hi: hi, maxErr: m.ErrorBound}
+		off += m.Tiles[i].Size
+	}
+	version := indexVersion([]*datasetMeta{ds})
+	index := marshalIndex([]*datasetMeta{ds}, version)
+	r.tail = append(index, marshalFooter(off, int64(len(index)), version)...)
+	r.size = off + int64(len(r.tail))
+	return r, nil
+}
+
+// Size returns the synthetic container's total size.
+func (r *snapshotReaderAt) Size() int64 { return r.size }
+
+// ReadAt implements io.ReaderAt over the container image; reads may span
+// the preamble, any number of blobs, and the tail.
+func (r *snapshotReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off > r.size {
+		return 0, fmt.Errorf("store: read at %d outside snapshot container of %d bytes", off, r.size)
+	}
+	n := 0
+	for len(p) > 0 {
+		if off == r.size {
+			return n, io.EOF
+		}
+		var k int
+		var err error
+		tailOff := r.size - int64(len(r.tail))
+		switch {
+		case off < int64(len(r.head)):
+			k = copy(p, r.head[off:])
+		case off >= tailOff:
+			k = copy(p, r.tail[off-tailOff:])
+		default:
+			// Binary search for the blob containing off: the first tile
+			// starting after off, minus one.
+			i := sort.Search(len(r.offs), func(i int) bool { return r.offs[i] > off }) - 1
+			span := r.m.Tiles[i].Size - (off - r.offs[i])
+			k = len(p)
+			if int64(k) > span {
+				k = int(span)
+			}
+			k, err = r.c.ReadBlobAt(r.m.Tiles[i].Score, p[:k], off-r.offs[i])
+		}
+		n += k
+		off += int64(k)
+		p = p[k:]
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// OpenSnapshot opens one snapshot of a CAS as a read-only Store. The
+// snapshot may still be staged in the open epoch (reads come from
+// memory) or sealed (reads come from score-verified blob files); the
+// same Store remains valid across the seal.
+func OpenSnapshot(c *cas.Store, field string, t int) (*Store, error) {
+	m, ok := c.Manifest(field, t)
+	if !ok {
+		return nil, fmt.Errorf("store: no snapshot %s in CAS %s", cas.SnapshotName(field, t), c.Dir())
+	}
+	r, err := snapshotContainer(c, m)
+	if err != nil {
+		return nil, err
+	}
+	// Open re-parses the synthetic index — the same validation path real
+	// containers go through, so a malformed manifest cannot reach the
+	// retrieval machinery.
+	return Open(r, r.size)
+}
+
+// CASBackend presents a CAS's snapshots as a storage backend: every
+// snapshot is a container named field@tN over the standard ranged-read
+// contract, so ipcompd can serve a CAS directory exactly as it serves a
+// directory of packed containers (and an edge can proxy one).
+type CASBackend struct {
+	c  *cas.Store
+	mu sync.Mutex
+	rs map[string]*snapshotReaderAt
+}
+
+// NewCASBackend wraps a CAS as a read-only backend.
+func NewCASBackend(c *cas.Store) *CASBackend {
+	return &CASBackend{c: c, rs: make(map[string]*snapshotReaderAt)}
+}
+
+// List names every snapshot, sealed and staged, ordered by field then t.
+func (b *CASBackend) List() ([]string, error) {
+	snaps := b.c.Snapshots()
+	out := make([]string, len(snaps))
+	for i, sn := range snaps {
+		out[i] = sn.Name
+	}
+	return out, nil
+}
+
+// container returns the (cached) synthetic container image of a
+// snapshot. Manifests are immutable once staged, so an entry never goes
+// stale; deleted snapshots simply stop being listed.
+func (b *CASBackend) container(name string) (*snapshotReaderAt, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if r, ok := b.rs[name]; ok {
+		return r, nil
+	}
+	field, t, err := cas.ParseSnapshotName(name)
+	if err != nil {
+		return nil, err
+	}
+	m, ok := b.c.Manifest(field, t)
+	if !ok {
+		return nil, fmt.Errorf("store: no snapshot %s in CAS %s", name, b.c.Dir())
+	}
+	r, err := snapshotContainer(b.c, m)
+	if err != nil {
+		return nil, err
+	}
+	b.rs[name] = r
+	return r, nil
+}
+
+// Size returns the named snapshot container's size.
+func (b *CASBackend) Size(name string) (int64, error) {
+	r, err := b.container(name)
+	if err != nil {
+		return 0, err
+	}
+	return r.size, nil
+}
+
+// ReadAt fills p from the named snapshot container per the backend
+// contract: the range must lie inside the container and a nil error
+// means p was filled completely.
+func (b *CASBackend) ReadAt(name string, p []byte, off int64) (int, error) {
+	r, err := b.container(name)
+	if err != nil {
+		return 0, err
+	}
+	if off < 0 || off > r.size || int64(len(p)) > r.size-off {
+		return 0, fmt.Errorf("backend: read [%d,%d) outside container %q of %d bytes", off, off+int64(len(p)), name, r.size)
+	}
+	return r.ReadAt(p, off)
+}
+
+var _ backend.Backend = (*CASBackend)(nil)

@@ -80,28 +80,54 @@ func Add[T grid.Scalar](w *Writer, name string, g *grid.Grid[T], opt WriteOption
 	if w.names[name] {
 		return fmt.Errorf("store: duplicate dataset name %q", name)
 	}
-	chunk := opt.ChunkShape
-	if len(chunk) == 0 {
-		chunk = defaultChunkShape(g.Shape())
-	}
-	til, err := newTiling(g.Shape(), chunk)
+	til, blobs, err := compressTiles(name, g, opt)
 	if err != nil {
 		return err
 	}
 	ds := &datasetMeta{
 		name:   name,
 		shape:  g.Shape().Clone(),
-		chunk:  chunk.Clone(),
+		chunk:  til.chunk.Clone(),
 		scalar: core.ScalarOf[T](),
 		eb:     opt.ErrorBound,
 		til:    til,
 		chunks: make([]chunkRecord, til.n),
 	}
 
-	// Fan the tiles out across the worker pool; any chunk error aborts the
-	// whole dataset. Tile staging buffers come from a pool shared across
-	// workers and datasets: CopyRegion overwrites the full box and Compress
-	// copies it into its own scratch, so reuse is safe.
+	for i, blob := range blobs {
+		lo, hi := til.box(i)
+		ds.chunks[i] = chunkRecord{
+			off:    w.off,
+			size:   int64(len(blob)),
+			lo:     lo,
+			hi:     hi,
+			maxErr: opt.ErrorBound,
+		}
+		if err := w.write(blob); err != nil {
+			return err
+		}
+	}
+	w.datasets = append(w.datasets, ds)
+	w.names[name] = true
+	return nil
+}
+
+// compressTiles tiles the grid and compresses every tile as an
+// independent IPComp archive on a worker pool, returning the tiling and
+// the blobs in row-major chunk order — the compression stage shared by
+// container packing (Add) and online ingest (PackSnapshot). Any chunk
+// error aborts the whole dataset. Tile staging buffers come from a pool
+// shared across workers and datasets: CopyRegion overwrites the full box
+// and Compress copies it into its own scratch, so reuse is safe.
+func compressTiles[T grid.Scalar](name string, g *grid.Grid[T], opt WriteOptions) (*tiling, [][]byte, error) {
+	chunk := opt.ChunkShape
+	if len(chunk) == 0 {
+		chunk = defaultChunkShape(g.Shape())
+	}
+	til, err := newTiling(g.Shape(), chunk)
+	if err != nil {
+		return nil, nil, err
+	}
 	blobs := make([][]byte, til.n)
 	err = core.ParallelForErr(til.n, func(i int) error {
 		lo, hi := til.box(i)
@@ -129,25 +155,9 @@ func Add[T grid.Scalar](w *Writer, name string, g *grid.Grid[T], opt WriteOption
 		return nil
 	})
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
-
-	for i, blob := range blobs {
-		lo, hi := til.box(i)
-		ds.chunks[i] = chunkRecord{
-			off:    w.off,
-			size:   int64(len(blob)),
-			lo:     lo,
-			hi:     hi,
-			maxErr: opt.ErrorBound,
-		}
-		if err := w.write(blob); err != nil {
-			return err
-		}
-	}
-	w.datasets = append(w.datasets, ds)
-	w.names[name] = true
-	return nil
+	return til, blobs, nil
 }
 
 // Close appends the index and footer, completing the container. The
