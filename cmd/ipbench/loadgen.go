@@ -22,6 +22,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -38,6 +39,7 @@ import (
 	"repro/internal/backend"
 	"repro/internal/datagen"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/wire"
@@ -121,6 +123,8 @@ func runLoadgen(argv []string) error {
 	degrade := fs.Bool("degrade", false, "in-process server: degrade over-budget or queue-timed-out requests instead of rejecting")
 	assertZeroErrors := fs.Bool("assert-zero-errors", false, "fail the run if any request errored")
 	assertDegraded := fs.Bool("assert-degraded", false, "fail the run unless at least one response was degraded")
+	trace := fs.Bool("trace", false, "record every request's stage trace (in-process targets) and print the slowest one after the run; with -addr the target must have tracing enabled")
+	assertStitched := fs.Bool("assert-stitched", false, "with -trace: fail unless some trace contains spans merged from a remote node (a forwarded request was stitched)")
 	shapeEdge := fs.Int("shape", 64, "in-process single node: cube edge of the synthetic dataset")
 	chunkEdge := fs.Int("chunk", 32, "in-process single node: cube edge of its tiles (>=32 keeps tiles progressive)")
 	if err := fs.Parse(argv); err != nil {
@@ -146,7 +150,7 @@ func runLoadgen(argv []string) error {
 			Degrade:              *degrade,
 		}
 		var stop func()
-		target, stop, err = localTarget(*clusterN, opts, *budgetFrac, *shapeEdge, *chunkEdge)
+		target, stop, err = localTarget(*clusterN, opts, *budgetFrac, *shapeEdge, *chunkEdge, *trace)
 		if stop != nil {
 			defer stop()
 		}
@@ -168,7 +172,94 @@ func runLoadgen(argv []string) error {
 
 	stats := &lgStats{}
 	runOpenLoop(target, weights, effRate, *duration, *seed, stats)
-	return report(name, stats, *duration, *benchOut, *assertZeroErrors, *assertDegraded)
+	if err := report(name, stats, *duration, *benchOut, *assertZeroErrors, *assertDegraded); err != nil {
+		return err
+	}
+	if *trace || *assertStitched {
+		return reportTraces(target, *assertStitched)
+	}
+	return nil
+}
+
+// reportTraces pulls /debug/traces from every node after the run, prints
+// the slowest trace's stage breakdown, and (with -assert-stitched) fails
+// unless some trace carries spans merged from a remote node — the
+// end-to-end proof that forwarded requests stitch into one trace.
+func reportTraces(t *lgTarget, wantStitched bool) error {
+	hc := &http.Client{Timeout: 10 * time.Second}
+	var slowest *obs.TraceDoc
+	slowestURL := ""
+	stitched := false
+	for _, url := range t.urls {
+		for _, q := range []string{"", "?slowest=1"} {
+			docs, err := fetchTraces(hc, url+"/debug/traces"+q)
+			if err != nil {
+				return fmt.Errorf("-trace: %w", err)
+			}
+			for i := range docs {
+				d := &docs[i]
+				for _, sp := range d.Spans {
+					if sp.Node != "" {
+						stitched = true
+					}
+				}
+				if slowest == nil || d.DurationNanos > slowest.DurationNanos {
+					slowest, slowestURL = d, url
+				}
+			}
+		}
+	}
+	if slowest == nil {
+		return fmt.Errorf("-trace: no traces recorded; is tracing enabled on the target?")
+	}
+	// Re-fetch by id so the by-id endpoint is exercised too (it also
+	// proves the id printed in a slow-request log line is resolvable).
+	if byID, err := fetchTrace(hc, slowestURL+"/debug/traces/"+slowest.ID); err == nil {
+		slowest = byID
+	}
+	fmt.Printf("  slowest trace %s: route=%s target=%s dur=%v coverage=%.0f%% spans=%d\n",
+		slowest.ID, slowest.Route, slowest.Target,
+		time.Duration(slowest.DurationNanos).Round(time.Microsecond), 100*slowest.Coverage, len(slowest.Spans))
+	fmt.Printf("    stages: %s\n", slowest.StageBreakdown())
+	if wantStitched && !stitched {
+		return fmt.Errorf("no stitched trace: no span merged from a remote node (use -cluster 3 so requests forward)")
+	}
+	return nil
+}
+
+func fetchTraces(hc *http.Client, url string) ([]obs.TraceDoc, error) {
+	resp, err := hc.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("GET %s: HTTP %d: %s", url, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var doc struct {
+		Traces []obs.TraceDoc `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("GET %s: %w", url, err)
+	}
+	return doc.Traces, nil
+}
+
+func fetchTrace(hc *http.Client, url string) (*obs.TraceDoc, error) {
+	resp, err := hc.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	var doc obs.TraceDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
 }
 
 // parseMix parses "cold:2,warm:5,..." into per-op weights.
@@ -229,7 +320,7 @@ func liveTarget(addr string) (*lgTarget, error) {
 // backed by a shared Mem catalog (every node can open every container;
 // the ring decides who serves what, so round-robin clients exercise
 // forwards).
-func localTarget(n int, adm server.AdmissionOptions, budgetFrac float64, shapeEdge, chunkEdge int) (*lgTarget, func(), error) {
+func localTarget(n int, adm server.AdmissionOptions, budgetFrac float64, shapeEdge, chunkEdge int, trace bool) (*lgTarget, func(), error) {
 	if n == 1 {
 		g, err := datagen.GenerateShape("Density", grid.Shape{shapeEdge, shapeEdge, shapeEdge})
 		if err != nil {
@@ -263,6 +354,9 @@ func localTarget(n int, adm server.AdmissionOptions, budgetFrac float64, shapeEd
 			return nil, nil, err
 		}
 		srv.SetAdmission(adm)
+		if trace {
+			srv.EnableTracing(obs.Options{Sample: 1, Node: "local"})
+		}
 		srv.SetReady()
 		url, stop, err := serveNode(srv)
 		if err != nil {
@@ -325,6 +419,11 @@ func localTarget(n int, adm server.AdmissionOptions, budgetFrac float64, shapeEd
 		if err := srv.EnableCluster(server.ClusterOptions{Self: p.Name, Peers: peers}); err != nil {
 			stop()
 			return nil, nil, err
+		}
+		if trace {
+			// After EnableCluster so the recorder picks up the node name;
+			// every request is recorded, so forwards always stitch.
+			srv.EnableTracing(obs.Options{Sample: 1})
 		}
 		for _, cname := range containers {
 			st, err := store.OpenBackend(mem, cname)

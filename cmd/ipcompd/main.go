@@ -9,6 +9,7 @@
 //	        [-max-decode-concurrency 0] [-max-request-bytes 0] [-queue-timeout 1s] [-degrade]
 //	        [-writable -cas-dir DIR [-seal-interval 10s]]
 //	        [-self NAME -peers NAME=URL,... [-replication 2] [-vnodes 64]]
+//	        [-trace-sample N] [-trace-slow 250ms] [-debug-addr 127.0.0.1:6060] [-log-format text|json]
 //	        [<container> ...]
 //
 // Each container argument is a local path or a URL: a .ipcs file, a
@@ -56,10 +57,11 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -69,9 +71,14 @@ import (
 	"repro/internal/backend"
 	"repro/internal/cas"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/store"
 )
+
+// logx is the process-wide logger; main installs it before anything can
+// log. Format is chosen by -log-format.
+var logx *obs.Logger
 
 func main() {
 	listen := flag.String("listen", ":8080", "address to serve HTTP on")
@@ -89,29 +96,34 @@ func main() {
 	writable := flag.Bool("writable", false, "accept snapshot writes (POST /v1/datasets/...); requires -cas-dir")
 	casDir := flag.String("cas-dir", "", "content-addressed snapshot store directory (created if missing)")
 	sealInterval := flag.Duration("seal-interval", 10*time.Second, "how often staged snapshots are sealed to disk (0 = only on write with ?seal=now and on shutdown)")
+	traceSample := flag.Int("trace-sample", 0, "tracing: record every Nth request's stage breakdown at /debug/traces (0 disables)")
+	traceSlow := flag.Duration("trace-slow", 0, "tracing: record every request slower than this and log it (0 disables)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this separate address (empty disables)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ipcompd [-listen :8080] [-cache-mb 256] [-backend-cache-mb 64] [-prefetch-kb 0] [-max-decode-concurrency N] [-max-request-bytes N] [-degrade] [-writable -cas-dir DIR] [-self NAME -peers NAME=URL,...] [<path|dir|url> ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: ipcompd [-listen :8080] [-cache-mb 256] [-backend-cache-mb 64] [-prefetch-kb 0] [-max-decode-concurrency N] [-max-request-bytes N] [-degrade] [-writable -cas-dir DIR] [-self NAME -peers NAME=URL,...] [-trace-sample N] [-trace-slow D] [-debug-addr ADDR] [-log-format text|json] [<path|dir|url> ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	logx = obs.NewLogger(os.Stderr, *logFormat, obs.LevelInfo)
 	if flag.NArg() == 0 && !*writable {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *writable && *casDir == "" {
-		log.Fatal("-writable needs -cas-dir to store snapshots in")
+		logx.Fatal("-writable needs -cas-dir to store snapshots in")
 	}
 	if !*writable && *casDir != "" {
-		log.Fatal("-cas-dir requires -writable (a snapshot store has exactly one writer)")
+		logx.Fatal("-cas-dir requires -writable (a snapshot store has exactly one writer)")
 	}
 	if *prefetchKB > 0 && *backendCacheMB <= 0 {
-		log.Fatal("-prefetch-kb requires a span cache to land in; set -backend-cache-mb > 0")
+		logx.Fatal("-prefetch-kb requires a span cache to land in; set -backend-cache-mb > 0")
 	}
 	if (*self == "") != (*peers == "") {
-		log.Fatal("cluster mode needs both -self and -peers")
+		logx.Fatal("cluster mode needs both -self and -peers")
 	}
 	if *writable && *self != "" {
-		log.Fatal("-writable is incompatible with cluster mode; run the writable node standalone")
+		logx.Fatal("-writable is incompatible with cluster mode; run the writable node standalone")
 	}
 	cl := clusterFlags{self: *self, peers: *peers, replication: *replication, vnodes: *vnodes}
 	adm := server.AdmissionOptions{
@@ -121,9 +133,17 @@ func main() {
 		Degrade:              *degrade,
 	}
 	ing := ingestFlags{writable: *writable, casDir: *casDir, sealInterval: *sealInterval}
-	if err := run(*listen, *cacheMB, *backendCacheMB, *prefetchKB, cl, adm, ing, flag.Args()); err != nil {
-		log.Fatal(err)
+	ob := obsFlags{traceSample: *traceSample, traceSlow: *traceSlow, debugAddr: *debugAddr}
+	if err := run(*listen, *cacheMB, *backendCacheMB, *prefetchKB, cl, adm, ing, ob, flag.Args()); err != nil {
+		logx.Fatal(err.Error())
 	}
+}
+
+// obsFlags carries the observability command line.
+type obsFlags struct {
+	traceSample int
+	traceSlow   time.Duration
+	debugAddr   string
 }
 
 // ingestFlags carries the write-path command line; writable==false means
@@ -217,7 +237,7 @@ func register(srv *server.Server, clustered bool, cacheMB, backendCacheMB, prefe
 				// — a README, a checksum, a half-written pack. Skip them; an
 				// explicitly named container must still fail loudly.
 				if !explicit {
-					log.Printf("skipping %s from %s: %v", name, spec, err)
+					logx.Warn("skipping non-container file", "name", name, "spec", spec, "err", err)
 					continue
 				}
 				return cleanup, fmt.Errorf("%s: %w", spec, err)
@@ -240,7 +260,8 @@ func register(srv *server.Server, clustered bool, cacheMB, backendCacheMB, prefe
 			}
 			used[serveName] = true
 			if serveName != name {
-				log.Printf("container %s from %s re-exported as %s (name already served)", name, spec, serveName)
+				logx.Warn("container name already served; re-exported under suffix",
+					"name", name, "spec", spec, "served_as", serveName)
 			}
 			if srv.Owns(serveName) {
 				s.SetCacheBytes(cacheMB << 20)
@@ -248,8 +269,9 @@ func register(srv *server.Server, clustered bool, cacheMB, backendCacheMB, prefe
 					return cleanup, fmt.Errorf("%s: %w", spec, err)
 				}
 				for _, ds := range s.Datasets() {
-					log.Printf("serving %s: shape %v %s eb %g (%d chunks, %d compressed bytes) from %s",
-						ds.Name, ds.Shape, ds.Scalar, ds.ErrorBound, ds.NumChunks, ds.CompressedBytes, spec)
+					logx.Info("serving dataset", "name", ds.Name, "shape", fmt.Sprint(ds.Shape),
+						"scalar", ds.Scalar, "eb", ds.ErrorBound, "chunks", ds.NumChunks,
+						"compressed_bytes", ds.CompressedBytes, "spec", spec)
 				}
 			} else {
 				etag, err := server.ContainerETag(s)
@@ -259,7 +281,8 @@ func register(srv *server.Server, clustered bool, cacheMB, backendCacheMB, prefe
 				if err := srv.AddRemote(serveName, s.Size(), etag, s.Datasets()); err != nil {
 					return cleanup, fmt.Errorf("%s: %w", spec, err)
 				}
-				log.Printf("routing %s (%d datasets) to replicas %v", serveName, len(s.Datasets()), srv.Replicas(serveName))
+				logx.Info("routing container to peers", "name", serveName,
+					"datasets", len(s.Datasets()), "replicas", fmt.Sprint(srv.Replicas(serveName)))
 			}
 		}
 		if served == 0 {
@@ -269,12 +292,12 @@ func register(srv *server.Server, clustered bool, cacheMB, backendCacheMB, prefe
 	return cleanup, nil
 }
 
-func run(listen string, cacheMB, backendCacheMB, prefetchKB int64, cl clusterFlags, adm server.AdmissionOptions, ing ingestFlags, specs []string) error {
+func run(listen string, cacheMB, backendCacheMB, prefetchKB int64, cl clusterFlags, adm server.AdmissionOptions, ing ingestFlags, ob obsFlags, specs []string) error {
 	srv := server.New()
 	srv.SetAdmission(adm)
 	if adm.MaxDecodeConcurrency > 0 || adm.MaxRequestBytes > 0 {
-		log.Printf("admission: decode slots %d, request budget %d bytes, degrade %v",
-			adm.MaxDecodeConcurrency, adm.MaxRequestBytes, adm.Degrade)
+		logx.Info("admission control enabled", "decode_slots", adm.MaxDecodeConcurrency,
+			"request_budget_bytes", adm.MaxRequestBytes, "degrade", adm.Degrade)
 	}
 	clustered := cl.self != ""
 	if clustered {
@@ -290,7 +313,37 @@ func run(listen string, cacheMB, backendCacheMB, prefetchKB int64, cl clusterFla
 		}); err != nil {
 			return err
 		}
-		log.Printf("cluster mode: self=%s peers=%d replication=%d", cl.self, len(peers), cl.replication)
+		logx.Info("cluster mode", "self", cl.self, "peers", len(peers), "replication", cl.replication)
+	}
+	if ob.traceSample > 0 || ob.traceSlow > 0 {
+		srv.EnableTracing(obs.Options{
+			Sample: ob.traceSample,
+			Slow:   ob.traceSlow,
+			OnSlow: func(d obs.TraceDoc) {
+				logx.Warn("slow request", "trace", d.ID, "route", d.Route, "target", d.Target,
+					"dur", time.Duration(d.DurationNanos), "stages", d.StageBreakdown())
+			},
+		})
+		logx.Info("request tracing enabled", "sample", ob.traceSample, "slow", ob.traceSlow)
+	}
+	if ob.debugAddr != "" {
+		// Profiling and expvar live on their own listener so they can stay
+		// unexposed (bound to localhost, firewalled) while the API port is
+		// public; see docs/OBSERVABILITY.md for the capture recipe.
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbg.Handle("/debug/vars", expvar.Handler())
+		ds := &http.Server{Addr: ob.debugAddr, Handler: dbg, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := ds.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logx.Error("debug listener failed", "addr", ob.debugAddr, "err", err)
+			}
+		}()
+		logx.Info("debug listener (pprof, expvar)", "addr", ob.debugAddr)
 	}
 
 	// Listen before opening anything: /healthz answers (and peers'
@@ -304,7 +357,7 @@ func run(listen string, cacheMB, backendCacheMB, prefetchKB int64, cl clusterFla
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("ipcompd listening on %s", listen)
+	logx.Info("ipcompd listening", "addr", listen)
 
 	cleanup, err := register(srv, clustered, cacheMB, backendCacheMB, prefetchKB, specs)
 	defer cleanup()
@@ -331,15 +384,15 @@ func run(listen string, cacheMB, backendCacheMB, prefetchKB int64, cl clusterFla
 		}
 		defer func() {
 			if err := srv.CloseIngest(); err != nil {
-				log.Printf("final seal: %v", err)
+				logx.Error("final seal failed", "err", err)
 			}
 		}()
 		st := c.Stats()
-		log.Printf("writable: snapshot store %s (%d snapshots, %d blobs, %d bytes), seal interval %s",
-			ing.casDir, st.Snapshots, st.Blobs, st.BlobBytes, ing.sealInterval)
+		logx.Info("writable snapshot store open", "dir", ing.casDir, "snapshots", st.Snapshots,
+			"blobs", st.Blobs, "bytes", st.BlobBytes, "seal_interval", ing.sealInterval)
 	}
 	srv.SetReady()
-	log.Printf("ready")
+	logx.Info("ready")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -347,7 +400,7 @@ func run(listen string, cacheMB, backendCacheMB, prefetchKB int64, cl clusterFla
 	case err := <-errc:
 		return err
 	case s := <-sig:
-		log.Printf("%v: shutting down", s)
+		logx.Info("shutting down", "signal", s)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		return hs.Shutdown(ctx)

@@ -40,6 +40,24 @@ type Backend interface {
 	ReadAt(name string, p []byte, off int64) (int, error)
 }
 
+// TraceReader is implemented by backends that can attach a request-trace
+// id to a read: HTTP sends it as the X-Ipcomp-Trace header on the origin
+// fetch (so the origin's spans stitch into the caller's trace), and
+// Cached forwards it through cache misses. trace == "" behaves exactly
+// like ReadAt.
+type TraceReader interface {
+	ReadAtTrace(name string, p []byte, off int64, trace string) (int, error)
+}
+
+// ReadAtTrace reads through b with a trace id when b supports it and
+// falls back to a plain ReadAt when it does not.
+func ReadAtTrace(b Backend, name string, p []byte, off int64, trace string) (int, error) {
+	if tr, ok := b.(TraceReader); ok && trace != "" {
+		return tr.ReadAtTrace(name, p, off, trace)
+	}
+	return b.ReadAt(name, p, off)
+}
+
 // Counters is a snapshot of a backend's read-path instrumentation.
 // Backends that carry counters expose them via CounterSource; the zero
 // value means "nothing to report" (e.g. a bare Dir backend).
@@ -107,6 +125,12 @@ func OpenContainer(b Backend, name string) (*Container, error) {
 // ReadAt implements io.ReaderAt over the container.
 func (c *Container) ReadAt(p []byte, off int64) (int, error) {
 	return c.b.ReadAt(c.name, p, off)
+}
+
+// ReadAtTrace reads like ReadAt with a trace id attached when the
+// backing backend supports trace propagation.
+func (c *Container) ReadAtTrace(p []byte, off int64, trace string) (int, error) {
+	return ReadAtTrace(c.b, c.name, p, off, trace)
 }
 
 // Size returns the container's size in bytes.

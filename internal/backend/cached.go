@@ -112,6 +112,18 @@ func (c *Cached) container(name string) (*cachedContainer, error) {
 // ReadAt serves [off, off+len(p)) from resident spans, fetching only the
 // missing gaps from the wrapped backend.
 func (c *Cached) ReadAt(name string, p []byte, off int64) (int, error) {
+	return c.readAt(name, p, off, "")
+}
+
+// ReadAtTrace is ReadAt with a request-trace id forwarded to the wrapped
+// backend on every origin fetch this read causes (a fully resident read
+// touches no origin and propagates nothing). Prefetches triggered by the
+// read stay untraced — they belong to no single request.
+func (c *Cached) ReadAtTrace(name string, p []byte, off int64, trace string) (int, error) {
+	return c.readAt(name, p, off, trace)
+}
+
+func (c *Cached) readAt(name string, p []byte, off int64, trace string) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
@@ -126,7 +138,7 @@ func (c *Cached) ReadAt(name string, p []byte, off int64) (int, error) {
 	// assembled; bypass the cache entirely (still counted as a miss).
 	if c.budget <= 0 || int64(len(p)) >= c.budget {
 		c.misses.Add(1)
-		n, err := c.inner.ReadAt(name, p, off)
+		n, err := ReadAtTrace(c.inner, name, p, off, trace)
 		c.bytesFetched.Add(int64(n))
 		return n, err
 	}
@@ -167,7 +179,7 @@ func (c *Cached) ReadAt(name string, p []byte, off int64) (int, error) {
 			// read, not a client-visible error — the origin can always serve
 			// what the cache cannot hold.
 			c.misses.Add(1)
-			n, err := c.inner.ReadAt(name, p, off)
+			n, err := ReadAtTrace(c.inner, name, p, off, trace)
 			c.bytesFetched.Add(int64(n))
 			return n, err
 		}
@@ -178,14 +190,14 @@ func (c *Cached) ReadAt(name string, p []byte, off int64) (int, error) {
 		bufs := make([][]byte, len(gaps))
 		errs := make([]error, len(gaps))
 		if len(gaps) == 1 {
-			bufs[0], errs[0] = c.fetchShared(name, gaps[0], false)
+			bufs[0], errs[0] = c.fetchShared(name, gaps[0], false, trace)
 		} else {
 			var wg sync.WaitGroup
 			for gi, g := range gaps {
 				wg.Add(1)
 				go func(gi int, g Range) {
 					defer wg.Done()
-					bufs[gi], errs[gi] = c.fetchShared(name, g, false)
+					bufs[gi], errs[gi] = c.fetchShared(name, g, false, trace)
 				}(gi, g)
 			}
 			wg.Wait()
@@ -280,8 +292,10 @@ func (c *Cached) oldestContainer() *cachedContainer {
 }
 
 // fetchShared reads one gap from the wrapped backend, coalescing
-// concurrent identical fetches into a single origin read.
-func (c *Cached) fetchShared(name string, g Range, speculative bool) ([]byte, error) {
+// concurrent identical fetches into a single origin read. trace (may be
+// "") is forwarded to the origin on the fetch this call initiates;
+// joiners inherit the initiating fetch's attribution.
+func (c *Cached) fetchShared(name string, g Range, speculative bool, trace string) ([]byte, error) {
 	key := flightKey{name: name, off: g.Off, n: int(g.Len)}
 	c.mu.Lock()
 	if fl, ok := c.flights[key]; ok {
@@ -303,7 +317,7 @@ func (c *Cached) fetchShared(name string, g Range, speculative bool) ([]byte, er
 	c.mu.Unlock()
 
 	buf := make([]byte, g.Len)
-	_, err := c.inner.ReadAt(name, buf, g.Off)
+	_, err := ReadAtTrace(c.inner, name, buf, g.Off, trace)
 	fl.err = err
 	c.mu.Lock()
 	if err == nil {
@@ -350,7 +364,7 @@ func (c *Cached) maybePrefetch(name string, cc *cachedContainer, from int64) {
 			c.mu.Unlock()
 		}()
 		for _, g := range gaps {
-			b, err := c.fetchShared(name, g, true)
+			b, err := c.fetchShared(name, g, true, "")
 			if err != nil {
 				return // speculative: the demand path will retry and report
 			}

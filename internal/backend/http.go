@@ -14,6 +14,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // HTTP reads containers over HTTP Range requests. It speaks to two kinds
@@ -346,6 +348,19 @@ type flight struct {
 // ReadAt fetches [off, off+len(p)) of the named container with one Range
 // request, coalescing concurrent identical reads into a single fetch.
 func (h *HTTP) ReadAt(name string, p []byte, off int64) (int, error) {
+	return h.readAt(name, p, off, "")
+}
+
+// ReadAtTrace is ReadAt with a request-trace id that rides the origin
+// fetch as the X-Ipcomp-Trace header, so an ipcompd origin records its
+// side of the read into the same trace. A read that coalesces into an
+// in-flight identical fetch keeps the initiator's trace id — span
+// attribution follows whoever actually paid for the origin round trip.
+func (h *HTTP) ReadAtTrace(name string, p []byte, off int64, trace string) (int, error) {
+	return h.readAt(name, p, off, trace)
+}
+
+func (h *HTTP) readAt(name string, p []byte, off int64, trace string) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
@@ -364,7 +379,7 @@ func (h *HTTP) ReadAt(name string, p []byte, off int64) (int, error) {
 	h.flights[key] = fl
 	h.mu.Unlock()
 
-	fl.b, fl.err = h.fetch(name, off, len(p))
+	fl.b, fl.err = h.fetch(name, off, len(p), trace)
 	h.mu.Lock()
 	delete(h.flights, key)
 	h.mu.Unlock()
@@ -377,7 +392,7 @@ func (h *HTTP) ReadAt(name string, p []byte, off int64) (int, error) {
 
 // fetch performs the origin Range request under the parallelism bound,
 // retrying transient failures.
-func (h *HTTP) fetch(name string, off int64, n int) ([]byte, error) {
+func (h *HTTP) fetch(name string, off int64, n int, trace string) ([]byte, error) {
 	u, err := h.containerURL(name)
 	if err != nil {
 		return nil, err
@@ -394,6 +409,9 @@ func (h *HTTP) fetch(name string, off int64, n int) ([]byte, error) {
 			return false, err
 		}
 		req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", off, off+int64(n)-1))
+		if trace != "" {
+			req.Header.Set(obs.TraceHeader, trace)
+		}
 		if validator != "" {
 			// Ranged reads assemble one consistent byte view across many
 			// requests; If-Range makes a replaced container answer 200

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/bitplane"
 	"repro/internal/codec"
@@ -27,6 +28,9 @@ type Result struct {
 	trunc [][]int32
 	// loadedBytes counts every archive byte read so far, header included.
 	loadedBytes int64
+	// stats, when non-nil, receives span-read and codec-decode timings
+	// from loadPlanes (see DecodeStats).
+	stats *DecodeStats
 }
 
 // Scalar returns the element type of the reconstruction.
@@ -139,12 +143,12 @@ func (a *Archive) RetrieveBitrate(bitsPerValue float64) (*Result, error) {
 // archive's native scalar width.
 func (a *Archive) Retrieve(plan Plan) (*Result, error) {
 	if a.h.scalar == Float32 {
-		return retrieveAs[float32](a, plan)
+		return retrieveStatsAs[float32](a, plan, nil)
 	}
-	return retrieveAs[float64](a, plan)
+	return retrieveStatsAs[float64](a, plan, nil)
 }
 
-func retrieveAs[T grid.Scalar](a *Archive, plan Plan) (*Result, error) {
+func retrieveStatsAs[T grid.Scalar](a *Archive, plan Plan, st *DecodeStats) (*Result, error) {
 	if len(plan.Keep) != a.h.levels {
 		return nil, fmt.Errorf("core: plan has %d levels, archive %d", len(plan.Keep), a.h.levels)
 	}
@@ -154,6 +158,7 @@ func retrieveAs[T grid.Scalar](a *Archive, plan Plan) (*Result, error) {
 		planes:      make([][][]byte, a.h.levels),
 		trunc:       make([][]int32, a.h.levels),
 		loadedBytes: a.h.headerSize,
+		stats:       st,
 	}
 	data := make([]T, a.h.shape.Len())
 	setData(r, data)
@@ -230,7 +235,14 @@ func (r *Result) loadPlanes(level, want int) error {
 	for p := have; p < want; p++ {
 		spanLen += int(m.blockSizes[p])
 	}
+	var readT time.Time
+	if r.stats != nil {
+		readT = time.Now()
+	}
 	raw, release, err := readSpan(a.src, a.h.blockOff[level-1][have], spanLen)
+	if r.stats != nil {
+		r.stats.ReadNanos.Add(time.Since(readT).Nanoseconds())
+	}
 	if err != nil {
 		return err
 	}
@@ -243,6 +255,10 @@ func (r *Result) loadPlanes(level, want int) error {
 		cur += sz
 	}
 	var ferr firstError
+	var codecT time.Time
+	if r.stats != nil {
+		codecT = time.Now()
+	}
 	ParallelFor(want-have, func(i int) {
 		p := have + i
 		plane, err := codec.DecodeBlock(blockAt[p], planeBytes)
@@ -252,6 +268,9 @@ func (r *Result) loadPlanes(level, want int) error {
 		}
 		r.planes[level-1][p] = plane
 	})
+	if r.stats != nil {
+		r.stats.CodecNanos.Add(time.Since(codecT).Nanoseconds())
+	}
 	if err := ferr.get(); err != nil {
 		return err
 	}

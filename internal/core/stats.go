@@ -1,0 +1,36 @@
+package core
+
+import "sync/atomic"
+
+// DecodeStats accumulates fine-grained decode-path timings for one
+// retrieval: where a cold request's time went below the tile level. A
+// single collector is typically shared by every tile decoded for one
+// request (the store's cold fan-out), so the fields are atomic. All
+// timing is skipped when the Result carries no collector — the common
+// untraced path pays one nil check per plane load.
+type DecodeStats struct {
+	// CodecNanos is entropy-codec block decode time, summed across decode
+	// workers (can exceed wall time under the parallel fan-out).
+	CodecNanos atomic.Int64
+	// ReadNanos is archive span read time against the block source — the
+	// backend I/O share of the retrieval.
+	ReadNanos atomic.Int64
+}
+
+// RetrieveErrorBoundStats is RetrieveErrorBound with a stats collector
+// attached for the duration of the retrieval. st may be nil.
+func (a *Archive) RetrieveErrorBoundStats(bound float64, st *DecodeStats) (*Result, error) {
+	plan, err := a.PlanErrorBoundMode(bound)
+	if err != nil {
+		return nil, err
+	}
+	if a.h.scalar == Float32 {
+		return retrieveStatsAs[float32](a, plan, st)
+	}
+	return retrieveStatsAs[float64](a, plan, st)
+}
+
+// SetDecodeStats attaches (or, with nil, detaches) a stats collector that
+// subsequent refinements report into. The caller must hold exclusive
+// access to the Result — the store sets it under the chunk's write lock.
+func (r *Result) SetDecodeStats(st *DecodeStats) { r.stats = st }

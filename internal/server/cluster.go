@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/backend"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -259,7 +260,9 @@ func (cs *clusterState) remoteDocs() (ds []DatasetDoc, conts []ContainerDoc) {
 // The peer's response is buffered before anything is written to the
 // client: once headers are on the wire a mid-body peer death could not
 // fail over, and the chaos contract here is zero client-visible errors.
-func (cs *clusterState) forward(w http.ResponseWriter, r *http.Request, container string) {
+func (cs *clusterState) forward(w http.ResponseWriter, r *http.Request, container string, tr *obs.Trace) {
+	ft := tr.Begin(obs.StageClusterForward)
+	defer ft.End()
 	if r.Header.Get(ForwardedHeader) != "" {
 		// A forwarded request landing on a non-owner means the peers'
 		// rings disagree; see ForwardedHeader.
@@ -305,7 +308,7 @@ func (cs *clusterState) forward(w http.ResponseWriter, r *http.Request, containe
 					continue
 				}
 				tried = true
-				resp, err := cs.tryPeer(r, ps, names[i])
+				resp, err := cs.tryPeer(r, ps, names[i], tr.ID())
 				if err != nil {
 					lastErr = fmt.Errorf("peer %s: %w", names[i], err)
 					cs.health.Failure(names[i])
@@ -314,7 +317,15 @@ func (cs *clusterState) forward(w http.ResponseWriter, r *http.Request, containe
 				}
 				cs.health.Success(names[i])
 				ps.forwards.Add(1)
+				// Stitch the owner's spans into this trace, and strip the
+				// header so it never reaches the client.
+				if enc := resp.header.Get(obs.SpansHeader); enc != "" {
+					tr.MergeRemote(names[i], enc)
+					resp.header.Del(obs.SpansHeader)
+				}
+				rt := tr.Begin(obs.StageRelay)
 				resp.relay(w, names[i])
+				rt.End()
 				return
 			}
 		}
@@ -368,7 +379,7 @@ type bufferedResp struct {
 // errors, timeouts, 5xx responses, and short bodies are reported as
 // errors (the caller fails over); 2xx–4xx responses are authoritative
 // and returned for relay.
-func (cs *clusterState) tryPeer(r *http.Request, ps *peerState, name string) (*bufferedResp, error) {
+func (cs *clusterState) tryPeer(r *http.Request, ps *peerState, name, traceID string) (*bufferedResp, error) {
 	ctx, cancel := context.WithTimeout(r.Context(), cs.attemptTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ps.url+r.URL.RequestURI(), nil)
@@ -376,6 +387,11 @@ func (cs *clusterState) tryPeer(r *http.Request, ps *peerState, name string) (*b
 		return nil, err
 	}
 	req.Header.Set(ForwardedHeader, cs.self)
+	if traceID != "" {
+		// Propagate the trace id so the owner joins this trace and
+		// publishes its spans back on the response (see obs.SpansHeader).
+		req.Header.Set(obs.TraceHeader, traceID)
+	}
 	// Range and If-Range make ranged raw-container reads (the storage
 	// re-export) forward faithfully; nothing else about the request
 	// affects a response byte.

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"net/http"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -42,13 +43,26 @@ counted:
 	h.sumNanos.Add(int64(d))
 }
 
-// Request label dimensions. The route label is constant for now — only
-// the region endpoint is instrumented — but is emitted so adding routes
-// later does not break scrapes.
+// Request label dimensions. Every API route is instrumented: region
+// carries the extra format label (raw vs planes change the work by orders
+// of magnitude); the rest — ingest, the two listings, dataset metadata,
+// and the raw-container re-export an edge proxy reads through — are
+// plain per-outcome series, so origin traffic from edge nodes shows up
+// in ipcomp_request_seconds too.
 const (
 	fmtRaw = iota
 	fmtPlanes
 	numFormats
+)
+
+const (
+	routeRegion = iota
+	routeIngest
+	routeList       // GET /v1/datasets
+	routeMeta       // GET /v1/datasets/{name}
+	routeContainers // GET /v1/containers
+	routeContainer  // GET /v1/containers/{name} (raw re-export)
+	numRoutes
 )
 
 const (
@@ -60,22 +74,24 @@ const (
 )
 
 var formatNames = [numFormats]string{"raw", "planes"}
+var routeNames = [numRoutes]string{"region", "ingest", "list", "meta", "containers", "container"}
 var outcomeNames = [numOutcomes]string{"ok", "degraded", "rejected", "error"}
 
 // requestMetrics is the per-server request instrumentation: one histogram
 // per (format, outcome) pair for the region read path, one per outcome
-// for the ingest write path.
+// for every other route (the region slot of plain is unused — region
+// always carries its format label).
 type requestMetrics struct {
 	region [numFormats][numOutcomes]histogram
-	ingest [numOutcomes]histogram
+	plain  [numRoutes][numOutcomes]histogram
 }
 
 func (m *requestMetrics) observe(format, outcome int, d time.Duration) {
 	m.region[format][outcome].observe(d)
 }
 
-func (m *requestMetrics) observeIngest(outcome int, d time.Duration) {
-	m.ingest[outcome].observe(d)
+func (m *requestMetrics) observeRoute(route, outcome int, d time.Duration) {
+	m.plain[route][outcome].observe(d)
 }
 
 // render writes the ipcomp_request_seconds family in exposition format.
@@ -105,7 +121,53 @@ func (m *requestMetrics) render(b *strings.Builder) {
 			series(&m.region[f][o], `route="region",format="`+formatNames[f]+`",outcome="`+outcomeNames[o]+`"`)
 		}
 	}
-	for o := 0; o < numOutcomes; o++ {
-		series(&m.ingest[o], `route="ingest",outcome="`+outcomeNames[o]+`"`)
+	for rt := 0; rt < numRoutes; rt++ {
+		if rt == routeRegion {
+			continue // emitted above with its format label
+		}
+		for o := 0; o < numOutcomes; o++ {
+			series(&m.plain[rt][o], `route="`+routeNames[rt]+`",outcome="`+outcomeNames[o]+`"`)
+		}
+	}
+}
+
+// statusWriter captures the response status so a generic handler's
+// latency can be bucketed by outcome after the fact.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(p)
+}
+
+// timed wraps a handler so its latency lands in ipcomp_request_seconds
+// under the given route, with the outcome derived from the status code.
+// The region and ingest handlers keep their own explicit instrumentation
+// (they distinguish degraded responses, which no status code carries).
+func (srv *Server) timed(route int, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		outcome := outOK
+		switch {
+		case sw.status == http.StatusTooManyRequests || sw.status == http.StatusRequestEntityTooLarge:
+			outcome = outRejected
+		case sw.status >= 400:
+			outcome = outError
+		}
+		srv.met.observeRoute(route, outcome, time.Since(start))
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -211,8 +212,10 @@ func (srv *Server) ingestDoc() *ingestDoc {
 // handleIngest serves both write endpoints; snapshots reports which.
 func (srv *Server) handleIngest(w http.ResponseWriter, r *http.Request, snapshots bool) {
 	start := time.Now()
-	outcome := srv.serveIngest(w, r, snapshots)
-	srv.met.observeIngest(outcome, time.Since(start))
+	tr := srv.traceStart(r, "ingest", r.PathValue("name"))
+	outcome := srv.serveIngest(w, r, snapshots, tr)
+	srv.rec.Finish(tr)
+	srv.met.observeRoute(routeIngest, outcome, time.Since(start))
 }
 
 // ingestParams is the parsed query surface of a write.
@@ -345,7 +348,7 @@ func parseShapeParam(s string) (grid.Shape, error) {
 
 // serveIngest is the write handler body; it returns the outcome label
 // for the latency histogram.
-func (srv *Server) serveIngest(w http.ResponseWriter, r *http.Request, snapshots bool) int {
+func (srv *Server) serveIngest(w http.ResponseWriter, r *http.Request, snapshots bool, tr *obs.Trace) int {
 	srv.mu.RLock()
 	ing := srv.ingest
 	srv.mu.RUnlock()
@@ -428,7 +431,10 @@ func (srv *Server) serveIngest(w http.ResponseWriter, r *http.Request, snapshots
 	// semaphore with cold reads so a snapshot stampede degrades smoothly
 	// (writes queue, warm reads keep flowing). Writes have no coarser
 	// fidelity to degrade to, so a queue timeout is a straight 429.
-	if err := srv.adm.acquireDecode(r.Context()); err != nil {
+	at := tr.Begin(obs.StageAdmission)
+	err = srv.adm.acquireDecode(r.Context())
+	at.End()
+	if err != nil {
 		if errors.Is(err, errQueueTimeout) {
 			srv.writeRetryAfter(w, "decode queue is full; retry the snapshot shortly")
 			return outRejected
@@ -444,7 +450,9 @@ func (srv *Server) serveIngest(w http.ResponseWriter, r *http.Request, snapshots
 		Codec:         p.codec,
 	}
 	ing.mu.Lock()
+	ct := tr.Begin(obs.StageIngestCompress)
 	m, st, err := packBody(c, field, body, p, opt)
+	ct.End()
 	if err != nil {
 		ing.mu.Unlock()
 		writeError(w, http.StatusInternalServerError, err.Error())

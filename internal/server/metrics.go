@@ -23,6 +23,10 @@ func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
 
+	bi := buildDoc()
+	fmt.Fprintf(&b, "# HELP ipcomp_build_info Build identity of the running binary; value is always 1.\n# TYPE ipcomp_build_info gauge\n")
+	fmt.Fprintf(&b, "ipcomp_build_info{version=%q,goversion=%q} 1\n", bi.Version, bi.GoVersion)
+
 	gauge("ipcomp_datasets", "Datasets served by this node (cluster mode: locally owned only).", int64(doc.Datasets))
 	gauge("ipcomp_containers", "Containers served by this node (cluster mode: locally owned only).", int64(doc.Containers))
 	ready := int64(0)
@@ -44,6 +48,7 @@ func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("ipcomp_admission_degraded_total", "Requests answered at a coarser bound than asked.", srv.adm.degraded.Load())
 	counter("ipcomp_admission_rejected_total", "Requests rejected by admission control (429 or 413).", srv.adm.rejected.Load())
 	srv.met.render(&b)
+	srv.rec.RenderStageSeconds(&b)
 
 	if len(doc.Codec) > 0 {
 		// One family per direction with a series per block method, like the

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/wire"
 )
@@ -25,6 +26,7 @@ type reqScratch struct {
 	reg    *store.Region
 	buf    []byte // writeRaw batch buffer
 	tmp    []byte // header-value formatting
+	trace  *obs.Trace
 }
 
 var reqPool = sync.Pool{New: func() any { return new(reqScratch) }}
@@ -53,7 +55,9 @@ func (srv *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 		// the dataset's shape, this node only has catalog metadata.
 		if srv.cluster != nil {
 			if rd, remote := srv.cluster.remoteDataset(name); remote {
-				srv.cluster.forward(w, r, rd.container)
+				tr := srv.traceStart(r, "region", name)
+				srv.cluster.forward(w, r, rd.container, tr)
+				srv.rec.Finish(tr)
 				return
 			}
 		}
@@ -65,7 +69,10 @@ func (srv *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 	name = ds.info.Name
 	start := time.Now()
 	sc := reqPool.Get().(*reqScratch)
+	sc.trace = srv.traceStart(r, "region", name)
 	format, outcome := srv.serveRegion(w, r, ds, name, sc)
+	srv.rec.Finish(sc.trace)
+	sc.trace = nil
 	reqPool.Put(sc)
 	srv.met.observe(format, outcome, time.Since(start))
 }
@@ -131,7 +138,7 @@ func (srv *Server) serveRegion(w http.ResponseWriter, r *http.Request, ds *datas
 		return fidx, outError
 	}
 	if fidx == fmtPlanes {
-		return fmtPlanes, srv.servePlanes(w, ds, name, lo, hi, bound, refine)
+		return fmtPlanes, srv.servePlanes(w, ds, name, lo, hi, bound, refine, sc)
 	}
 	if refine != "" {
 		writeError(w, http.StatusBadRequest, "refine requires format=planes (raw responses carry full values)")
@@ -193,18 +200,41 @@ func (srv *Server) serveRaw(w http.ResponseWriter, r *http.Request, ds *dataset,
 	}
 	acquired := false
 	ctx := r.Context()
-	reg, err := ds.s.RetrieveRegionOpts(name, lo, hi, bound, store.RetrieveOptions{
+	tr := sc.trace
+	ropts := store.RetrieveOptions{
 		Reuse: sc.reg,
 		Gate: func() error {
-			if err := srv.adm.acquireDecode(ctx); err != nil {
+			at := tr.Begin(obs.StageAdmission)
+			err := srv.adm.acquireDecode(ctx)
+			at.End()
+			if err != nil {
 				return err
 			}
 			acquired = true
 			return nil
 		},
-	})
+	}
+	var dst *core.DecodeStats
+	if tr != nil {
+		// Stage timings from the store (wall time per phase) plus decode
+		// counters from the codec layer (summed across parallel tiles, so
+		// they can exceed wall time). The method value allocates, but only
+		// on traced requests — the untraced warm path stays alloc-free.
+		dst = &core.DecodeStats{}
+		ropts.Stage = tr.ObserveStage
+		ropts.Decode = dst
+	}
+	reg, err := ds.s.RetrieveRegionOpts(name, lo, hi, bound, ropts)
 	if acquired {
 		srv.adm.releaseDecode()
+	}
+	if tr != nil && dst != nil {
+		if n := dst.CodecNanos.Load(); n > 0 {
+			tr.ObserveStage(obs.StageEntropyDecode, time.Duration(n))
+		}
+		if n := dst.ReadNanos.Load(); n > 0 {
+			tr.ObserveStage(obs.StageBackendFetch, time.Duration(n))
+		}
 	}
 	if err != nil {
 		if errors.Is(err, errQueueTimeout) {
@@ -287,11 +317,14 @@ func (srv *Server) writeRawRegion(w http.ResponseWriter, reg *store.Region, scal
 	if degraded {
 		h.Set("X-Ipcomp-Degraded", "true")
 	}
+	publishTraceSpans(w, sc.trace)
+	rt := sc.trace.Begin(obs.StageRelay)
 	if scalar == core.Float32 {
 		sc.buf = writeRaw(w, reg.DataFloat32(), 4, sc.buf, putF32)
 	} else {
 		sc.buf = writeRaw(w, reg.Data(), 8, sc.buf, putF64)
 	}
+	rt.End()
 }
 
 func putF32(b []byte, v float32) { binary.LittleEndian.PutUint32(b, math.Float32bits(v)) }
@@ -346,7 +379,7 @@ func planTotal(rp *store.RegionPlan, rank int) (int64, error) {
 // until the plan fits — and the response is marked X-Ipcomp-Degraded;
 // its token certifies the degraded bound, so a later refine with the
 // original bound fetches exactly the missing planes.
-func (srv *Server) servePlanes(w http.ResponseWriter, ds *dataset, name string, lo, hi []int, bound float64, refine string) int {
+func (srv *Server) servePlanes(w http.ResponseWriter, ds *dataset, name string, lo, hi []int, bound float64, refine string, sc *reqScratch) int {
 	haveBound := 0.0
 	if refine != "" {
 		tok, err := decodeToken(refine)
@@ -432,6 +465,22 @@ func (srv *Server) servePlanes(w http.ResponseWriter, ds *dataset, name string, 
 		h.Set("X-Ipcomp-Degraded", "true")
 	}
 
+	tr := sc.trace
+	publishTraceSpans(w, tr)
+	// The relay span covers the whole streamed body, backend reads
+	// included; the fetch share is reported separately below so a trace
+	// distinguishes copy-out from origin I/O.
+	rt := tr.Begin(obs.StageRelay)
+	defer rt.End()
+	var readNanos int64
+	if tr != nil {
+		defer func() {
+			if readNanos > 0 {
+				tr.ObserveStage(obs.StageBackendFetch, time.Duration(readNanos))
+			}
+		}()
+	}
+
 	rank := len(lo)
 	if err := wire.WriteRegionHeader(w, &wire.RegionHeader{
 		Scalar:     rp.Scalar,
@@ -460,7 +509,15 @@ func (srv *Server) servePlanes(w http.ResponseWriter, ds *dataset, name string, 
 			if err := wire.WriteSpanHeader(w, wire.SpanHeader{Off: sp.Off, Len: sp.Len}); err != nil {
 				return outOK
 			}
-			payload, err := ds.s.ReadRange(cp.BlobOff+sp.Off, sp.Len)
+			var payload []byte
+			var err error
+			if tr != nil {
+				readT := time.Now()
+				payload, err = ds.s.ReadRangeTrace(cp.BlobOff+sp.Off, sp.Len, tr.ID())
+				readNanos += int64(time.Since(readT))
+			} else {
+				payload, err = ds.s.ReadRange(cp.BlobOff+sp.Off, sp.Len)
+			}
 			if err != nil {
 				return outOK // headers are gone; aborting the body is all we can do
 			}

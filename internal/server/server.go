@@ -15,6 +15,7 @@ import (
 	"repro/internal/backend"
 	"repro/internal/codec"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -46,6 +47,33 @@ type Server struct {
 
 	adm admission      // zero value: no limits (see SetAdmission)
 	met requestMetrics // region-request latency histograms
+	rec *obs.Recorder  // nil until EnableTracing; nil/disabled = alloc-free fast path
+}
+
+// EnableTracing installs the request-trace recorder (see internal/obs and
+// GET /debug/traces). Call it at most once, after EnableCluster when both
+// are used — the recorder's node name defaults to the cluster self name.
+// With obs.Options' zero value the recorder is installed but disabled:
+// requests skip all trace work, which is what the allocation pin tests.
+func (srv *Server) EnableTracing(opts obs.Options) {
+	if opts.Node == "" && srv.cluster != nil {
+		opts.Node = srv.cluster.self
+	}
+	srv.rec = obs.NewRecorder(opts)
+}
+
+// traceStart begins (or joins, when the request carries a propagated
+// trace id) a trace for this request. It returns nil — and must stay
+// this cheap — whenever tracing is off: the warm region path is
+// allocation-free only because a disabled recorder costs two nil checks.
+func (srv *Server) traceStart(r *http.Request, route, target string) *obs.Trace {
+	if !srv.rec.Enabled() {
+		return nil
+	}
+	if id := r.Header.Get(obs.TraceHeader); id != "" {
+		return srv.rec.Join(id, route, target)
+	}
+	return srv.rec.Start(route, target)
 }
 
 // dataset routes one dataset name to its backing store.
@@ -205,11 +233,13 @@ func (srv *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /readyz", srv.handleReady)
 	mux.HandleFunc("GET /metrics", srv.handleMetrics)
 	mux.HandleFunc("GET /v1/stats", srv.handleStats)
-	mux.HandleFunc("GET /v1/datasets", srv.handleList)
-	mux.HandleFunc("GET /v1/datasets/{name}", srv.handleDataset)
+	mux.HandleFunc("GET /debug/traces", srv.handleTraces)
+	mux.HandleFunc("GET /debug/traces/{id}", srv.handleTraceByID)
+	mux.HandleFunc("GET /v1/datasets", srv.timed(routeList, srv.handleList))
+	mux.HandleFunc("GET /v1/datasets/{name}", srv.timed(routeMeta, srv.handleDataset))
 	mux.HandleFunc("GET /v1/datasets/{name}/region", srv.handleRegion)
-	mux.HandleFunc("GET /v1/containers", srv.handleContainers)
-	mux.HandleFunc("GET /v1/containers/{name}", srv.handleContainer)
+	mux.HandleFunc("GET /v1/containers", srv.timed(routeContainers, srv.handleContainers))
+	mux.HandleFunc("GET /v1/containers/{name}", srv.timed(routeContainer, srv.handleContainer))
 	mux.HandleFunc("POST /v1/datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
 		srv.handleIngest(w, r, false)
 	})
@@ -273,7 +303,9 @@ func (srv *Server) handleContainer(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		if srv.cluster != nil {
 			if _, remote := srv.cluster.remoteContainer(name); remote {
-				srv.cluster.forward(w, r, name)
+				tr := srv.traceStart(r, "container", name)
+				srv.cluster.forward(w, r, name, tr)
+				srv.rec.Finish(tr)
 				return
 			}
 		}
@@ -284,12 +316,20 @@ func (srv *Server) handleContainer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no container %q (have %s)", name, strings.Join(have, ", ")))
 		return
 	}
+	// A traced read here is the origin half of an edge fetch: the edge's
+	// http backend put the client's trace id on this Range request, so the
+	// relay span recorded below stitches into that client's trace.
+	tr := srv.traceStart(r, "container", name)
 	// An explicit type stops ServeContent from sniffing (a read of the
 	// first 512 bytes) and pins the framing for clients; the ETag lets
 	// ServeContent honor If-Range, so edge caches detect replacement.
 	w.Header().Set("Content-Type", "application/x-ipcomp-container")
 	w.Header().Set("Etag", c.etag)
+	publishTraceSpans(w, tr)
+	rt := tr.Begin(obs.StageRelay)
 	http.ServeContent(w, r, "", time.Time{}, c.s.SectionReader())
+	rt.End()
+	srv.rec.Finish(tr)
 }
 
 // DatasetDoc is the JSON document describing one dataset.
@@ -336,6 +376,8 @@ type StatsDoc struct {
 	Cluster *ClusterDoc        `json:"cluster,omitempty"`
 	// Ingest reports the write path's CAS accounting on writable nodes.
 	Ingest *ingestDoc `json:"ingest,omitempty"`
+	// Build identifies the running binary.
+	Build BuildDoc `json:"build"`
 }
 
 // statsDoc gathers the counter snapshot handleStats and handleMetrics
@@ -371,6 +413,7 @@ func (srv *Server) statsDoc() StatsDoc {
 		doc.Cluster = srv.cluster.doc()
 	}
 	doc.Ingest = srv.ingestDoc()
+	doc.Build = buildDoc()
 	return doc
 }
 
@@ -398,7 +441,9 @@ func (srv *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		if srv.cluster != nil {
 			if rd, remote := srv.cluster.remoteDataset(name); remote {
-				srv.cluster.forward(w, r, rd.container)
+				tr := srv.traceStart(r, "meta", name)
+				srv.cluster.forward(w, r, rd.container, tr)
+				srv.rec.Finish(tr)
 				return
 			}
 		}

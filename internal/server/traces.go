@@ -1,0 +1,82 @@
+package server
+
+import (
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// publishTraceSpans exposes a joined trace's local spans on the response
+// so the forwarding node can merge them into the originating trace. Only
+// joined traces publish (EncodeSpans returns "" otherwise): a client-
+// facing response never grows a span header.
+func publishTraceSpans(w http.ResponseWriter, tr *obs.Trace) {
+	if enc := tr.EncodeSpans(); enc != "" {
+		w.Header().Set(obs.SpansHeader, enc)
+	}
+}
+
+// handleTraces serves GET /debug/traces: the recent-trace ring (newest
+// first), or the keep-the-slowest reservoir with ?slowest=1.
+func (srv *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if srv.rec == nil {
+		writeError(w, http.StatusNotFound,
+			"request tracing is not enabled; start ipcompd with -trace-sample or -trace-slow")
+		return
+	}
+	docs := srv.rec.Recent()
+	if r.URL.Query().Get("slowest") != "" {
+		docs = srv.rec.Slowest()
+	}
+	if docs == nil {
+		docs = []obs.TraceDoc{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": docs})
+}
+
+// handleTraceByID serves GET /debug/traces/{id}.
+func (srv *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	if srv.rec == nil {
+		writeError(w, http.StatusNotFound,
+			"request tracing is not enabled; start ipcompd with -trace-sample or -trace-slow")
+		return
+	}
+	id := r.PathValue("id")
+	doc, ok := srv.rec.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no trace "+id+" in the ring or slowest reservoir (traces are evicted as new ones finish)")
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// BuildDoc identifies the running binary in /v1/stats and the
+// ipcomp_build_info metric.
+type BuildDoc struct {
+	// Version is the main module's version ("(devel)" for plain go build,
+	// a pseudo-version or tag under go install m@v).
+	Version string `json:"version"`
+	// Revision is the VCS commit when the binary was built from one.
+	Revision string `json:"revision,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+// buildDoc reads the binary's build information once.
+var buildDoc = sync.OnceValue(func() BuildDoc {
+	doc := BuildDoc{Version: "unknown", GoVersion: runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			doc.Version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				doc.Revision = s.Value
+			}
+		}
+	}
+	return doc
+})

@@ -195,3 +195,26 @@ func (s *Store) ReadRange(off, n int64) ([]byte, error) {
 	}
 	return buf, nil
 }
+
+// ReadRangeTrace is ReadRange with a trace id attached: when the
+// container's source supports trace propagation (backend.TraceReader,
+// e.g. an http origin behind a cache), the id rides the origin fetch so
+// an edge node's reads stitch into the client's trace. Sources without
+// support fall back to a plain read.
+func (s *Store) ReadRangeTrace(off, n int64, trace string) ([]byte, error) {
+	type traceReaderAt interface {
+		ReadAtTrace(p []byte, off int64, trace string) (int, error)
+	}
+	tr, ok := s.src.(traceReaderAt)
+	if !ok || trace == "" {
+		return s.ReadRange(off, n)
+	}
+	if off < 0 || n < 0 || off > s.size || n > s.size-off {
+		return nil, fmt.Errorf("store: read [%d,%d) outside container of %d bytes", off, off+n, s.size)
+	}
+	buf := make([]byte, n)
+	if _, err := tr.ReadAtTrace(buf, off, trace); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

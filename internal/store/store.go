@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/grid"
+	"repro/internal/obs"
 )
 
 // Store reads a chunked container through io.ReaderAt. Opening parses only
@@ -259,6 +261,15 @@ type RetrieveOptions struct {
 	// itself. The caller must be done with every slice that region handed
 	// out — Data()/DataFloat32() views are overwritten in place.
 	Reuse *Region
+	// Stage, when non-nil, receives coarse per-retrieval stage timings:
+	// the warm cached-tile sweep and the cold decode/refine fan-out.
+	// Servers wire this to a request trace; it must be cheap and must not
+	// retain the arguments.
+	Stage func(stage obs.Stage, d time.Duration)
+	// Decode, when non-nil, collects fine-grained decode-path timings
+	// (entropy-codec and backend-read time) from every tile this retrieval
+	// decodes or refines.
+	Decode *core.DecodeStats
 }
 
 // RetrieveRegion reconstructs the box [lo, hi) of the named dataset with a
@@ -319,6 +330,10 @@ func retrieveRegionAs[T grid.Scalar](s *Store, ds *datasetMeta, lo, hi []int, bo
 	// under its read lock — no goroutines, no channel, no allocation. The
 	// copy-out happens while the entry is read-locked because a concurrent
 	// tighter query could otherwise refine the shared slice mid-copy.
+	var stageT time.Time
+	if opts.Stage != nil {
+		stageT = time.Now()
+	}
 	for pos, ci := range sc.chunks {
 		rec := &ds.chunks[ci]
 		entry := s.cache.acquire(chunkKey{dataset: ds.name, chunk: ci},
@@ -338,6 +353,9 @@ func retrieveRegionAs[T grid.Scalar](s *Store, ds *datasetMeta, lo, hi []int, bo
 		entry.mu.RUnlock()
 		sc.cold = append(sc.cold, pos)
 	}
+	if opts.Stage != nil {
+		opts.Stage(obs.StageWarmSweep, time.Since(stageT))
+	}
 	if len(sc.cold) == 0 {
 		return region, nil
 	}
@@ -355,6 +373,9 @@ func retrieveRegionAs[T grid.Scalar](s *Store, ds *datasetMeta, lo, hi []int, bo
 	}
 	loaded := sc.loaded[:len(sc.cold)]
 	worst := sc.worst[:len(sc.cold)]
+	if opts.Stage != nil {
+		stageT = time.Now()
+	}
 	err := core.ParallelForErr(len(sc.cold), func(k int) error {
 		pos := sc.cold[k]
 		ci := sc.chunks[pos]
@@ -364,7 +385,7 @@ func retrieveRegionAs[T grid.Scalar](s *Store, ds *datasetMeta, lo, hi []int, bo
 		// lock and find the work already done — one decode, N consumers.
 		entry.mu.Lock()
 		defer entry.mu.Unlock()
-		if err := s.ensureChunk(entry, ds, rec, bound); err != nil {
+		if err := s.ensureChunk(entry, ds, rec, bound, opts.Decode); err != nil {
 			return fmt.Errorf("store: dataset %q chunk %d: %w", ds.name, ci, err)
 		}
 		loaded[k] = entry.claimLoaded()
@@ -372,6 +393,9 @@ func retrieveRegionAs[T grid.Scalar](s *Store, ds *datasetMeta, lo, hi []int, bo
 		copyChunk(data, sc.shape, lo, hi, entry.res, rec)
 		return nil
 	})
+	if opts.Stage != nil {
+		opts.Stage(obs.StageTileDecode, time.Since(stageT))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -471,23 +495,29 @@ func (s *Store) openChunkArchive(entry *chunkEntry, ds *datasetMeta, rec *chunkR
 // touch opens the chunk's archive through a section of the container and
 // retrieves at the bound; a cached result with a looser guarantee is
 // refined in place, loading only the additional bitplanes. Callers hold
-// entry.mu for writing.
-func (s *Store) ensureChunk(entry *chunkEntry, ds *datasetMeta, rec *chunkRecord, bound float64) error {
+// entry.mu for writing. st (may be nil) collects decode-path timings for
+// this request; it is attached only while the lock is held, so a cached
+// result never reports into a finished request's collector.
+func (s *Store) ensureChunk(entry *chunkEntry, ds *datasetMeta, rec *chunkRecord, bound float64, st *core.DecodeStats) error {
 	if entry.res == nil {
 		arch, err := s.openChunkArchive(entry, ds, rec)
 		if err != nil {
 			return err
 		}
-		res, err := arch.RetrieveErrorBound(bound)
+		res, err := arch.RetrieveErrorBoundStats(bound, st)
 		if err != nil {
 			return err
 		}
+		res.SetDecodeStats(nil)
 		s.stats.decodes.Add(1)
 		entry.res = res
 		return nil
 	}
 	if entry.res.GuaranteedError() > bound {
-		if err := entry.res.RefineErrorBound(bound); err != nil {
+		entry.res.SetDecodeStats(st)
+		err := entry.res.RefineErrorBound(bound)
+		entry.res.SetDecodeStats(nil)
+		if err != nil {
 			// A partial refinement can advance the plan (which is what
 			// GuaranteedError reports) without applying the data delta.
 			// Drop the entry so the next query re-decodes instead of
